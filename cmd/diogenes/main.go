@@ -1,0 +1,15 @@
+// Command diogenes runs the feed-forward measurement pipeline on the
+// modelled applications and renders the tool's displays and the paper's
+// evaluation tables. See internal/cli for the implementation and
+// `diogenes help` for usage.
+package main
+
+import (
+	"os"
+
+	"diogenes/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

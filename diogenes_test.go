@@ -1,0 +1,152 @@
+package diogenes_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diogenes"
+	"diogenes/internal/cuda"
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+)
+
+// leakyApp is the quickstart-style custom application: it frees a device
+// buffer every iteration while kernels are in flight.
+type leakyApp struct{ iters int }
+
+func (leakyApp) Name() string { return "leaky-app" }
+
+func (a leakyApp) Run(p *diogenes.Process) error {
+	out := p.Host.Alloc(4096, "result")
+	dev, err := p.Ctx.Malloc(4096, "dev result")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < a.iters; i++ {
+		var tmp *gpu.DevBuf
+		p.In("step", "app.cpp", 10, func() {
+			tmp, err = p.Ctx.Malloc(1<<16, "scratch")
+			if err != nil {
+				return
+			}
+			_, err = p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name: "work", Duration: simtime.Millisecond, Stream: gpu.LegacyStream,
+				Writes: []cuda.KernelWrite{{Ptr: dev.Base(), Size: 256, Seed: uint64(i)}},
+			})
+			if err != nil {
+				return
+			}
+			p.CPUWork(300 * simtime.Microsecond)
+			p.At(15)
+			err = p.Ctx.Free(tmp) // implicit sync on in-flight kernel
+			if err != nil {
+				return
+			}
+			p.CPUWork(500 * simtime.Microsecond)
+			p.At(18)
+			err = p.Ctx.MemcpyD2H(out.Base(), dev.Base(), 256)
+			if err != nil {
+				return
+			}
+			_, err = p.Read(out.Base(), 16, 19)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestFacadeRunFindsLeak(t *testing.T) {
+	rep, err := diogenes.Run(leakyApp{iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	savings := rep.Analysis.SavingsByFunc()
+	if len(savings) == 0 {
+		t.Fatal("no findings")
+	}
+	if savings[0].Func != "cudaFree" {
+		t.Fatalf("top finding = %s, want cudaFree", savings[0].Func)
+	}
+	if rep.OverheadMultiple() <= 1 {
+		t.Fatal("collection cost not accounted")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	ws := diogenes.Workloads()
+	if len(ws) != 4 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	if _, err := diogenes.WorkloadByName("cumf_als"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := diogenes.WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFacadeRunWorkloadAndRender(t *testing.T) {
+	rep, err := diogenes.RunWorkload("rodinia_gaussian", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := diogenes.WriteOverview(&buf, rep.Analysis); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fold on cudaThreadSynchronize") {
+		t.Fatalf("overview missing threadSync fold:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := diogenes.WriteSavings(&buf, rep.Analysis); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cudaThreadSynchronize") {
+		t.Fatal("savings missing threadSync row")
+	}
+	buf.Reset()
+	if err := diogenes.WriteJSON(&buf, rep.Analysis); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rodinia_gaussian"`) {
+		t.Fatal("JSON export missing app name")
+	}
+}
+
+func TestFacadeSequenceDisplays(t *testing.T) {
+	rep, err := diogenes.RunWorkload("cumf_als", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := rep.Analysis.StaticSequences()
+	if len(seqs) == 0 {
+		t.Fatal("no sequences")
+	}
+	top := seqs[0]
+	var buf bytes.Buffer
+	if err := diogenes.WriteSequence(&buf, rep.Analysis, top); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Time Recoverable:") {
+		t.Fatalf("sequence display malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "cudaMemcpy in als.cpp at line 738") {
+		t.Fatalf("sequence missing entry 1:\n%s", out)
+	}
+
+	sub, err := rep.Analysis.SubsequenceBenefit(top, 10, len(top.Entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := diogenes.WriteSubsequence(&buf, rep.Analysis, sub); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Time Recoverable In Subsequence:") {
+		t.Fatal("subsequence display malformed")
+	}
+}

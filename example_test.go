@@ -1,0 +1,94 @@
+package diogenes_test
+
+import (
+	"fmt"
+	"os"
+
+	"diogenes"
+	"diogenes/internal/cuda"
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+)
+
+// exampleApp frees a scratch buffer every step while its kernel is still
+// running — the classic problematic implicit synchronization.
+type exampleApp struct{}
+
+func (exampleApp) Name() string { return "example" }
+
+func (exampleApp) Run(p *diogenes.Process) error {
+	out := p.Host.Alloc(4096, "out")
+	devOut, err := p.Ctx.Malloc(4096, "dev out")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 20; i++ {
+		var runErr error
+		p.In("step", "app.cpp", 10, func() {
+			scratch, err := p.Ctx.Malloc(4096, "scratch")
+			if err != nil {
+				runErr = err
+				return
+			}
+			if _, err := p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name: "work", Duration: simtime.Millisecond, Stream: gpu.LegacyStream,
+				Writes: []cuda.KernelWrite{{Ptr: devOut.Base(), Size: 64, Seed: uint64(i)}},
+			}); err != nil {
+				runErr = err
+				return
+			}
+			p.CPUWork(200 * simtime.Microsecond)
+			p.At(14)
+			if err := p.Ctx.Free(scratch); err != nil {
+				runErr = err
+				return
+			}
+			p.CPUWork(400 * simtime.Microsecond)
+			p.At(17)
+			if err := p.Ctx.MemcpyD2H(out.Base(), devOut.Base(), 64); err != nil {
+				runErr = err
+				return
+			}
+			if _, err := p.Read(out.Base(), 16, 18); err != nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return runErr
+		}
+	}
+	return nil
+}
+
+// ExampleRun runs the five FFM stages on a small application and inspects
+// the top finding.
+func ExampleRun() {
+	report, err := diogenes.Run(exampleApp{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	savings := report.Analysis.SavingsByFunc()
+	fmt.Printf("top finding: %s at %d call sites\n", savings[0].Func, savings[0].Count)
+	counts := report.Analysis.ProblemCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Printf("problems found: %d\n", total)
+	// Output:
+	// top finding: cudaFree at 20 call sites
+	// problems found: 20
+}
+
+// ExampleWorkloads lists the modelled evaluation applications.
+func ExampleWorkloads() {
+	for _, w := range diogenes.Workloads() {
+		fmt.Println(w.Name)
+	}
+	// Output:
+	// cumf_als
+	// cuibm
+	// amg
+	// rodinia_gaussian
+}

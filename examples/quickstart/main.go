@@ -1,0 +1,124 @@
+// Quickstart: write a small GPU application against the simulated CUDA
+// driver, run the five-stage FFM pipeline on it, and read the findings.
+//
+// The application makes two classic mistakes: it calls cudaFree inside its
+// loop while kernels are still running (an implicit synchronization per
+// iteration), and it re-uploads the same configuration block every
+// iteration (duplicate transfers). Diogenes finds both and estimates what
+// fixing them is worth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"diogenes"
+	"diogenes/internal/cuda"
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+)
+
+type simulationApp struct {
+	steps int
+}
+
+func (simulationApp) Name() string { return "quickstart-sim" }
+
+func (a simulationApp) Run(p *diogenes.Process) error {
+	const configBytes = 16 << 10
+
+	// Host-side state: a config block whose content never changes, and a
+	// results buffer the CPU consumes each step.
+	config := p.Host.Alloc(configBytes, "config block")
+	results := p.Host.Alloc(4096, "results")
+	payload := make([]byte, configBytes)
+	simtime.NewRNG(7).Bytes(payload)
+	if err := p.Host.Poke(config.Base(), payload); err != nil {
+		return err
+	}
+
+	devConfig, err := p.Ctx.Malloc(configBytes, "dev config")
+	if err != nil {
+		return err
+	}
+	devResults, err := p.Ctx.Malloc(4096, "dev results")
+	if err != nil {
+		return err
+	}
+
+	var runErr error
+	for step := 0; step < a.steps && runErr == nil; step++ {
+		step := step
+		p.In("simulate", "sim.cpp", 40, func() {
+			// Mistake 1: the config never changes, yet it is re-uploaded
+			// every step — a duplicate transfer after the first.
+			p.At(44)
+			if runErr = p.Ctx.MemcpyH2D(devConfig.Base(), config.Base(), configBytes); runErr != nil {
+				return
+			}
+
+			// A scratch buffer allocated and freed per step; the free
+			// synchronizes with the still-running kernel (mistake 2).
+			scratch, err := p.Ctx.Malloc(64<<10, "scratch")
+			if err != nil {
+				runErr = err
+				return
+			}
+			p.At(49)
+			if _, err := p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name:     "advance",
+				Duration: 2 * simtime.Millisecond,
+				Stream:   gpu.LegacyStream,
+				Writes:   []cuda.KernelWrite{{Ptr: devResults.Base(), Size: 512, Seed: uint64(step)}},
+			}); err != nil {
+				runErr = err
+				return
+			}
+			p.CPUWork(400 * simtime.Microsecond) // assemble next step
+			p.At(53)
+			if runErr = p.Ctx.Free(scratch); runErr != nil {
+				return
+			}
+			p.CPUWork(600 * simtime.Microsecond)
+
+			// Pull results down and use them right away: this
+			// synchronization is necessary and well placed.
+			p.At(58)
+			if runErr = p.Ctx.MemcpyD2H(results.Base(), devResults.Base(), 512); runErr != nil {
+				return
+			}
+			if _, err := p.Read(results.Base(), 64, 59); err != nil {
+				runErr = err
+				return
+			}
+		})
+	}
+	return runErr
+}
+
+func main() {
+	report, err := diogenes.Run(simulationApp{steps: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := report.Analysis
+
+	fmt.Println("== Findings (sorted by expected benefit) ==")
+	if err := diogenes.WriteSavings(os.Stdout, a); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Overview ==")
+	if err := diogenes.WriteOverview(os.Stdout, a); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nTotal expected benefit: %.3fs of %.3fs (%.1f%% of execution)\n",
+		a.TotalBenefit().Seconds(),
+		a.ExecTime.Seconds(),
+		a.Percent(a.TotalBenefit()))
+	fmt.Printf("Data collection cost: %.1fx the uninstrumented run\n", report.OverheadMultiple())
+}

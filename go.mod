@@ -1,0 +1,3 @@
+module diogenes
+
+go 1.22

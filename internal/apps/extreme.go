@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"diogenes/internal/cuda"
+	"diogenes/internal/gpu"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// Extreme models the headline claim of the paper's introduction: "even in
+// applications developed by expert GPU programmers, problematic
+// synchronizations and memory transfers can account for as much as 85% of
+// execution time in real world applications [Welton & Miller, CCGRID'18]".
+//
+// The pattern, taken from that earlier study's worst cases, is a tight
+// solver loop whose every iteration re-uploads unchanged coefficient tables
+// and synchronizes on a device that is long since idle: nearly all wall
+// time is recoverable. It is not part of the Table 1/2 registry (the paper
+// evaluates four applications); it backs the §1 reproduction test and makes
+// a good stress input.
+type Extreme struct {
+	Iters int
+}
+
+// NewExtreme builds the workload (scale 1.0 ≈ 400 iterations).
+func NewExtreme(scale float64) *Extreme {
+	return &Extreme{Iters: scaled(400, scale)}
+}
+
+// Name implements proc.App.
+func (a *Extreme) Name() string { return "extreme" }
+
+// ExtremeFactory returns the machine model for the workload: a slow
+// interconnect magnifying the cost of the repeated uploads.
+func ExtremeFactory() proc.Factory {
+	g := gpu.DefaultConfig()
+	g.H2DBytesPerUS = 24 // 48 KiB table ≈ 2 ms
+	g.CopyLatency = 80 * simtime.Microsecond
+	c := cuda.DefaultConfig()
+	c.FreeCost = 400 * simtime.Microsecond
+	return proc.Factory{GPU: g, CUDA: c}
+}
+
+// Run implements proc.App.
+func (a *Extreme) Run(p *proc.Process) error {
+	const tableBytes = 48 << 10
+	table := p.Host.Alloc(tableBytes, "coefficient table")
+	out := p.Host.Alloc(4096, "out")
+	fill := make([]byte, tableBytes)
+	simtime.NewRNG(17).Bytes(fill)
+	if err := p.Host.Poke(table.Base(), fill); err != nil {
+		return err
+	}
+	devTable, err := p.Ctx.Malloc(tableBytes, "dev table")
+	if err != nil {
+		return err
+	}
+	devOut, err := p.Ctx.Malloc(4096, "dev out")
+	if err != nil {
+		return err
+	}
+
+	var runErr error
+	for i := 0; i < a.Iters && runErr == nil; i++ {
+		i := i
+		p.In("solveStep", "extreme.cpp", 80, func() {
+			// The kernel is short; the upload is long and unchanged.
+			p.At(82)
+			if runErr = p.Ctx.MemcpyH2D(devTable.Base(), table.Base(), tableBytes); runErr != nil {
+				return
+			}
+			scratch, err := p.Ctx.Malloc(8<<10, "scratch")
+			if err != nil {
+				runErr = err
+				return
+			}
+			p.At(85)
+			if _, err := p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name: "tiny_step", Duration: 120 * simtime.Microsecond, Stream: gpu.LegacyStream,
+				Writes: []cuda.KernelWrite{{Ptr: devOut.Base(), Size: 64, Seed: uint64(i)}},
+			}); err != nil {
+				runErr = err
+				return
+			}
+			// Belt-and-braces synchronization on an (almost) idle device.
+			p.At(88)
+			p.Ctx.DeviceSynchronize()
+			p.At(89)
+			if runErr = p.Ctx.Free(scratch); runErr != nil {
+				return
+			}
+			p.CPUWork(150 * simtime.Microsecond)
+		})
+	}
+	// One real result consumption at the end.
+	p.In("finish", "extreme.cpp", 120, func() {
+		if runErr != nil {
+			return
+		}
+		p.At(122)
+		if runErr = p.Ctx.MemcpyD2H(out.Base(), devOut.Base(), 64); runErr != nil {
+			return
+		}
+		_, runErr = p.Read(out.Base(), 16, 123)
+	})
+	return runErr
+}

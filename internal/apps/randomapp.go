@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"fmt"
+
+	"diogenes/internal/cuda"
+	"diogenes/internal/gpu"
+	"diogenes/internal/memory"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// RandomApp is a seeded, deterministic workload generator: given the same
+// seed it always issues the identical sequence of driver calls, CPU work
+// and memory accesses, so it satisfies proc.App's determinism contract
+// while exploring call patterns no hand-written model covers. The pipeline
+// property tests run the full five stages over many seeds and check
+// invariants (estimates bounded, determinism, patched runs no slower).
+//
+// The generated program is a loop of randomly chosen operations drawn from
+// the same vocabulary as the modelled applications: uploads (sometimes of
+// repeated content), kernel launches on random streams, scratch alloc/free
+// churn, explicit synchronizations, readbacks with or without prompt use,
+// and plain CPU work.
+type RandomApp struct {
+	Seed  uint64
+	Steps int
+	// MaxDevices > 1 lets the generator issue SetDevice calls.
+	MaxDevices int
+}
+
+// NewRandomApp builds a generator with the given seed and length.
+func NewRandomApp(seed uint64, steps int) *RandomApp {
+	return &RandomApp{Seed: seed, Steps: steps, MaxDevices: 1}
+}
+
+// Name implements proc.App.
+func (a *RandomApp) Name() string { return fmt.Sprintf("random-%d", a.Seed) }
+
+// Run implements proc.App.
+func (a *RandomApp) Run(p *proc.Process) error {
+	rng := simtime.NewRNG(a.Seed)
+
+	const bufBytes = 16 << 10
+	nHost := 3
+	hosts := make([]*memory.Region, nHost)
+	payloads := make([][]byte, nHost)
+	for i := range hosts {
+		hosts[i] = p.Host.Alloc(bufBytes, fmt.Sprintf("host %d", i))
+		payloads[i] = make([]byte, bufBytes)
+		simtime.NewRNG(a.Seed*31 + uint64(i)).Bytes(payloads[i])
+		if err := p.Host.Poke(hosts[i].Base(), payloads[i]); err != nil {
+			return err
+		}
+	}
+	result := p.Host.Alloc(bufBytes, "result")
+
+	// Device-side state is per device: pointers are only valid on the
+	// device that allocated them, so each device gets its own buffer set
+	// and side stream.
+	nDev := p.Ctx.DeviceCount()
+	if a.MaxDevices < nDev {
+		nDev = a.MaxDevices
+	}
+	if nDev < 1 {
+		nDev = 1
+	}
+	devBufs := make([][]*gpu.DevBuf, nDev)
+	sideStream := make([]gpu.StreamID, nDev)
+	for d := 0; d < nDev; d++ {
+		if err := p.Ctx.SetDevice(d); err != nil {
+			return err
+		}
+		devBufs[d] = make([]*gpu.DevBuf, nHost+1)
+		for i := range devBufs[d] {
+			var err error
+			if devBufs[d][i], err = p.Ctx.Malloc(bufBytes, fmt.Sprintf("dev%d buf %d", d, i)); err != nil {
+				return err
+			}
+		}
+		sideStream[d] = p.Ctx.StreamCreate()
+	}
+	if err := p.Ctx.SetDevice(0); err != nil {
+		return err
+	}
+	pinned := p.Ctx.MallocHost(bufBytes, "pinned")
+
+	var runErr error
+	for s := 0; s < a.Steps && runErr == nil; s++ {
+		s := s
+		p.In("randomStep", "random.cpp", 100, func() {
+			cur := p.Ctx.CurrentDevice()
+			bufs := devBufs[cur]
+			streams := []gpu.StreamID{gpu.LegacyStream, sideStream[cur]}
+			switch op := rng.Intn(10); op {
+			case 0, 1: // upload, possibly repeated content
+				src := rng.Intn(nHost)
+				p.At(110 + src)
+				runErr = p.Ctx.MemcpyH2D(bufs[src].Base(), hosts[src].Base(), bufBytes)
+			case 2: // kernel on a random stream
+				p.At(120)
+				_, runErr = p.Ctx.LaunchKernel(cuda.KernelSpec{
+					Name:     "rand_kernel",
+					Duration: simtime.Duration(200+rng.Intn(1800)) * simtime.Microsecond,
+					Stream:   streams[rng.Intn(len(streams))],
+					Writes:   []cuda.KernelWrite{{Ptr: bufs[nHost].Base(), Size: 256, Seed: uint64(s)}},
+				})
+			case 3: // scratch churn
+				var buf *gpu.DevBuf
+				if buf, runErr = p.Ctx.Malloc(4<<10, "scratch"); runErr != nil {
+					return
+				}
+				p.CPUWork(simtime.Duration(rng.Intn(400)) * simtime.Microsecond)
+				p.At(131)
+				runErr = p.Ctx.Free(buf)
+			case 4: // explicit sync
+				p.At(140)
+				p.Ctx.DeviceSynchronize()
+			case 5: // readback with prompt use: a necessary sync
+				p.At(150)
+				if runErr = p.Ctx.MemcpyD2H(result.Base(), bufs[nHost].Base(), 256); runErr != nil {
+					return
+				}
+				_, runErr = p.Read(result.Base(), 16, 151)
+			case 6: // readback never used: problematic
+				p.At(160)
+				runErr = p.Ctx.MemcpyD2H(result.Base(), bufs[nHost].Base(), 256)
+			case 7: // async D2H into pinned memory: truly async
+				p.At(170)
+				runErr = p.Ctx.MemcpyAsyncD2H(pinned.Base(), bufs[nHost].Base(), 4096, streams[1])
+			case 8: // stream sync
+				p.At(180)
+				p.Ctx.StreamSynchronize(streams[rng.Intn(len(streams))])
+			case 9: // CPU phase
+				p.CPUWork(simtime.Duration(100+rng.Intn(1200)) * simtime.Microsecond)
+			}
+			if runErr == nil && nDev > 1 && rng.Intn(6) == 0 {
+				runErr = p.Ctx.SetDevice(rng.Intn(nDev))
+			}
+		})
+	}
+	// Drain the device so the run ends quiescent.
+	p.In("shutdown", "random.cpp", 300, func() {
+		p.Ctx.DeviceSynchronize()
+	})
+	return runErr
+}

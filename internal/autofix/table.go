@@ -1,0 +1,44 @@
+package autofix
+
+import (
+	"diogenes/internal/apps"
+	"diogenes/internal/experiments"
+	"diogenes/internal/proc"
+)
+
+// EvaluateApp plans and applies the automatic correction for one modelled
+// application, producing the comparison row AutofixTable consumes.
+func EvaluateApp(name string, scale float64) (*experiments.AutofixRow, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := experiments.RunApp(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	plan := BuildPlan(rep.Analysis, DefaultOptions())
+	v, err := ApplyWith(func(f proc.Factory) proc.App {
+		return spec.Build(scale, apps.Original, f)
+	}, spec.Factory(), plan, DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	row := &experiments.AutofixRow{
+		App:            name,
+		AutoRealized:   v.Realized,
+		AutoEstimated:  plan.Estimated,
+		CallsElided:    v.SuppressedCalls,
+		GuardViolation: v.GuardViolation,
+		Valid:          v.Valid,
+	}
+	if v.OriginalTime > 0 {
+		row.AutoRealizedPct = v.RealizedPct
+	}
+	return row, nil
+}
+
+// Table runs EvaluateApp over the four modelled applications.
+func Table(scale float64) ([]experiments.AutofixRow, error) {
+	return experiments.AutofixTable(scale, EvaluateApp)
+}

@@ -1,0 +1,40 @@
+package callstack
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDemangle exercises the template-stripping demangler with arbitrary
+// inputs: it must never panic, must be idempotent, and must preserve names
+// containing no template markup.
+func FuzzDemangle(f *testing.F) {
+	for _, seed := range []string{
+		"plain",
+		"ns::fn",
+		"vec<int>::push",
+		"thrust::detail::contiguous_storage<T, alloc<T>>::allocate",
+		"operator<<",
+		"a<b<c<d>>>::e",
+		"unbalanced<<<",
+		">>>reversed",
+		"operator",
+		"<>",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		once := Demangle(name)
+		twice := Demangle(once)
+		if once != twice {
+			t.Fatalf("not idempotent: %q -> %q -> %q", name, once, twice)
+		}
+		if !strings.ContainsAny(name, "<>") && once != name {
+			t.Fatalf("template-free name changed: %q -> %q", name, once)
+		}
+		if len(once) > len(name) {
+			t.Fatalf("demangling grew the name: %q -> %q", name, once)
+		}
+	})
+}

@@ -1,0 +1,431 @@
+// Package cli implements the diogenes command line. It lives outside
+// cmd/diogenes so every command is testable with injected writers; the main
+// package is a two-line shim.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/autofix"
+	"diogenes/internal/cuda"
+	"diogenes/internal/experiments"
+	"diogenes/internal/ffm"
+	"diogenes/internal/interpose"
+	"diogenes/internal/report"
+	"diogenes/internal/timeline"
+	"diogenes/internal/trace"
+)
+
+// Main dispatches a command line (without the program name) and returns the
+// process exit code. All output goes to stdout/stderr.
+func Main(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "list":
+		err = List(stdout)
+	case "run":
+		err = RunCmd(stdout, rest)
+	case "analyze":
+		err = Analyze(stdout, rest)
+	case "table1":
+		err = Table1(stdout, rest)
+	case "table2":
+		err = Table2(stdout, rest)
+	case "overhead":
+		err = Overhead(stdout, rest)
+	case "autofix":
+		err = Autofix(stdout, rest)
+	case "random":
+		err = Random(stdout, rest)
+	case "verify":
+		err = Verify(stdout, rest)
+	case "discover":
+		err = Discover(stdout)
+	case "help", "-h", "--help":
+		usage(stderr)
+	default:
+		fmt.Fprintf(stderr, "diogenes: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "diogenes: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `Diogenes — feed-forward CPU/GPU performance measurement (SC '19 reproduction)
+
+commands:
+  list                      list the modelled applications
+  run <app> [flags]         run the 5-stage FFM pipeline and show findings
+      -scale f              workload scale (default 0.25)
+      -json file            export the analysis as JSON
+      -trace file           export the annotated trace (stage-4 records)
+      -timeline file        export a chrome://tracing timeline
+      -md file              export a Markdown findings report
+      -sub from:to          refine the top sequence to entries [from,to]
+  analyze <trace.json>      run stage 5 on a previously exported trace
+  table1 [-scale f]         reproduce Table 1 (estimated vs actual benefit)
+  table2 [app] [-scale f]   reproduce Table 2 (NVProf vs HPCToolkit vs Diogenes)
+  overhead <app> [-scale f] show the §5.3 data-collection cost breakdown
+  autofix <app> [-scale f]  plan, apply, and validate automatic corrections (§6)
+  random [-seed n]          run the pipeline on a seeded random workload
+  verify [-scale f]         apply automatic corrections to every app and
+                            compare against the paper's manual fixes
+  discover                  run the §3.1 sync-function identification test
+`)
+}
+
+// List prints the modelled applications.
+func List(w io.Writer) error {
+	for _, spec := range apps.Registry() {
+		fmt.Fprintf(w, "%-18s %s\n", spec.Name, spec.Description)
+	}
+	return nil
+}
+
+// takeName splits a leading positional argument off args so flags may
+// follow it (the flag package stops at the first non-flag argument).
+func takeName(args []string) (string, []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// RunCmd executes the full pipeline on one application and renders the
+// findings and optional exports.
+func RunCmd(w io.Writer, args []string) error {
+	name, args := takeName(args)
+	fs := newFlagSet("run")
+	scale := fs.Float64("scale", 0.25, "workload scale")
+	jsonPath := fs.String("json", "", "export analysis JSON to file")
+	tracePath := fs.String("trace", "", "export annotated trace JSON to file")
+	timelinePath := fs.String("timeline", "", "export a chrome://tracing timeline to file")
+	mdPath := fs.String("md", "", "export a Markdown findings report to file")
+	sub := fs.String("sub", "", "subsequence from:to of the top sequence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("run: application name expected (see 'diogenes list')")
+	}
+
+	rep, err := experiments.RunApp(name, *scale)
+	if err != nil {
+		return err
+	}
+	a := rep.Analysis
+
+	if err := report.Overview(w, a); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := report.Savings(w, a); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	seqs := a.StaticSequences()
+	if len(seqs) > 0 {
+		if err := report.Sequence(w, a, seqs[0]); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if *sub != "" {
+			var from, to int
+			if _, err := fmt.Sscanf(*sub, "%d:%d", &from, &to); err != nil {
+				return fmt.Errorf("run: -sub wants from:to, got %q", *sub)
+			}
+			s, err := a.SubsequenceBenefit(seqs[0], from, to)
+			if err != nil {
+				return err
+			}
+			if err := report.Subsequence(w, a, s); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	folds := a.APIFolds()
+	if len(folds) > 0 {
+		if err := report.ExpandFold(w, a, folds[0]); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if err := report.OverheadSummary(w, rep); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := report.OverlapSummary(w, rep.Overlap()); err != nil {
+		return err
+	}
+
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, a.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nanalysis exported to %s\n", *jsonPath)
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, rep.Trace.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nannotated trace exported to %s\n", *tracePath)
+	}
+	if *timelinePath != "" {
+		tl := timeline.Build(rep.Trace, rep.DeviceOps)
+		if err := writeFile(*timelinePath, tl.Write); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nchrome://tracing timeline exported to %s\n", *timelinePath)
+	}
+	if *mdPath != "" {
+		if err := writeFile(*mdPath, func(f io.Writer) error {
+			return report.WriteMarkdown(f, rep)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nMarkdown report exported to %s\n", *mdPath)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+// Analyze re-runs stage 5 on a previously exported trace (§4's JSON
+// interchange).
+func Analyze(w io.Writer, args []string) error {
+	path, args := takeName(args)
+	fs := newFlagSet("analyze")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" {
+		return fmt.Errorf("analyze: trace file expected")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	run, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	a := ffm.Analyze(run, ffm.DefaultAnalysisOptions())
+	if err := report.Overview(w, a); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return report.Savings(w, a)
+}
+
+// Table1 regenerates Table 1.
+func Table1(w io.Writer, args []string) error {
+	fs := newFlagSet("table1")
+	scale := fs.Float64("scale", 0.25, "workload scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.Table1(*scale)
+	if err != nil {
+		return err
+	}
+	return report.Table1(w, rows)
+}
+
+// Table2 regenerates Table 2 for the named applications (all by default).
+func Table2(w io.Writer, args []string) error {
+	fs := newFlagSet("table2")
+	scale := fs.Float64("scale", 0.25, "workload scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		for _, spec := range apps.Registry() {
+			names = append(names, spec.Name)
+		}
+	}
+	for i, name := range names {
+		rows, err := experiments.Table2For(name, *scale)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := report.Table2(w, name, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Overhead prints the §5.3 cost breakdown for one application.
+func Overhead(w io.Writer, args []string) error {
+	name, args := takeName(args)
+	fs := newFlagSet("overhead")
+	scale := fs.Float64("scale", 0.25, "workload scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("overhead: application name expected (see 'diogenes list')")
+	}
+	rep, err := experiments.RunApp(name, *scale)
+	if err != nil {
+		return err
+	}
+	return report.OverheadSummary(w, rep)
+}
+
+// Autofix plans, applies and validates automatic corrections on one
+// application.
+func Autofix(w io.Writer, args []string) error {
+	name, args := takeName(args)
+	fs := newFlagSet("autofix")
+	scale := fs.Float64("scale", 0.25, "workload scale")
+	noGuard := fs.Bool("no-guard", false, "skip the mprotect correctness guard")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("autofix: application name expected (see 'diogenes list')")
+	}
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Running the FFM pipeline on %s ...\n", name)
+	rep, err := experiments.RunApp(name, *scale)
+	if err != nil {
+		return err
+	}
+	opts := autofix.DefaultOptions()
+	opts.Guard = !*noGuard
+	plan := autofix.BuildPlan(rep.Analysis, opts)
+
+	view := report.PlanView{App: plan.App, Estimated: plan.Estimated, Skipped: plan.Skipped}
+	for _, a := range plan.Actions {
+		view.Actions = append(view.Actions, report.PlanAction{
+			Kind: a.Kind.String(), Label: a.Label, Estimated: a.Estimated, Count: a.Count,
+		})
+	}
+	if err := report.AutofixPlan(w, view); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nApplying the plan (call-site elision) and re-running ...")
+	v, err := autofix.Apply(spec.New(*scale, apps.Original), spec.Factory(), plan, opts)
+	if err != nil {
+		return err
+	}
+	if !v.Valid {
+		fmt.Fprintf(w, "FIX REJECTED by the correctness guard:\n  %s\n", v.GuardViolation)
+		return nil
+	}
+	fmt.Fprintf(w, "  original run:   %8.3fs\n", v.OriginalTime.Seconds())
+	fmt.Fprintf(w, "  patched run:    %8.3fs\n", v.PatchedTime.Seconds())
+	fmt.Fprintf(w, "  realized:       %8.3fs (%.2f%%; estimated %.2f%%)\n",
+		v.Realized.Seconds(), v.RealizedPct, v.EstimatedPct)
+	fmt.Fprintf(w, "  calls elided:   %d   transfer sources guarded: %d\n",
+		v.SuppressedCalls, v.GuardedRanges)
+	return nil
+}
+
+// Random runs the pipeline on a seeded random workload — a quick way to
+// exercise the whole stack on call patterns no modelled application has.
+func Random(w io.Writer, args []string) error {
+	fs := newFlagSet("random")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	steps := fs.Int("steps", 80, "workload length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := ffm.Run(apps.NewRandomApp(*seed, *steps), ffm.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if err := report.Savings(w, rep.Analysis); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return report.OverlapSummary(w, rep.Overlap())
+}
+
+// Verify applies the automatic correction to every modelled application and
+// prints the realized benefit next to the paper's manual fix.
+func Verify(w io.Writer, args []string) error {
+	fs := newFlagSet("verify")
+	scale := fs.Float64("scale", 0.1, "workload scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := autofix.Table(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %-22s %-26s %-14s %s\n",
+		"Application", "Manual fix (paper's)", "Automatic fix (elision)", "Calls elided", "Guard")
+	for _, r := range rows {
+		guard := "ok"
+		if !r.Valid {
+			guard = "REJECTED: " + r.GuardViolation
+		}
+		fmt.Fprintf(w, "%-18s %8.3fs (%5.2f%%)    %8.3fs (%5.2f%%; est %.3fs) %10d    %s\n",
+			r.App,
+			r.ManualActual.Seconds(), r.ManualActualPct,
+			r.AutoRealized.Seconds(), r.AutoRealizedPct, r.AutoEstimated.Seconds(),
+			r.CallsElided, guard)
+	}
+	return nil
+}
+
+// Discover runs the §3.1 identification test and reports the funnel.
+func Discover(w io.Writer) error {
+	factory := apps.Must("rodinia_gaussian").Factory()
+	fn, err := interpose.Discover(func() *cuda.Context { return factory.New().Ctx })
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, f := range cuda.InternalFuncs {
+		names = append(names, string(f))
+	}
+	fmt.Fprintf(w, "candidate internal functions: %s\n", strings.Join(names, ", "))
+	fmt.Fprintf(w, "identified synchronization funnel: %s\n", fn)
+	fmt.Fprintln(w, "(found by launching a never-completing kernel and observing where known synchronous calls park the CPU)")
+	return nil
+}

@@ -1,0 +1,240 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMain(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := Main(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestMainNoArgs(t *testing.T) {
+	code, _, errOut := runMain(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "commands:") {
+		t.Fatal("usage not printed")
+	}
+}
+
+func TestMainUnknownCommand(t *testing.T) {
+	code, _, errOut := runMain(t, "frobnicate")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown command "frobnicate"`) {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestMainHelp(t *testing.T) {
+	code, _, errOut := runMain(t, "help")
+	if code != 0 || !strings.Contains(errOut, "autofix") {
+		t.Fatalf("help failed: code=%d", code)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runMain(t, "list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"cumf_als", "cuibm", "amg", "rodinia_gaussian"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list missing %s", name)
+		}
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	code, out, _ := runMain(t, "discover")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "__nv_sync_wait_internal") {
+		t.Fatalf("funnel not identified:\n%s", out)
+	}
+}
+
+func TestRunCommandFullOutput(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "a.json")
+	tracePath := filepath.Join(dir, "t.json")
+	tlPath := filepath.Join(dir, "tl.json")
+	code, out, errOut := runMain(t, "run", "rodinia_gaussian",
+		"-scale", "0.02", "-sub", "1:1",
+		"-json", jsonPath, "-trace", tracePath, "-timeline", tlPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	for _, want := range []string{
+		"Diogenes Overview Display",
+		"Diogenes Estimated Savings",
+		"Time Recoverable:",
+		"Time Recoverable In Subsequence:",
+		"Expansion of Problem",
+		"Data collection cost",
+		"analysis exported to",
+		"annotated trace exported to",
+		"chrome://tracing timeline exported to",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q", want)
+		}
+	}
+	for _, p := range []string{jsonPath, tracePath, tlPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("export %s missing or empty", p)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if code, _, _ := runMain(t, "run"); code != 1 {
+		t.Fatal("missing app name accepted")
+	}
+	if code, _, _ := runMain(t, "run", "nope", "-scale", "0.02"); code != 1 {
+		t.Fatal("unknown app accepted")
+	}
+	if code, _, _ := runMain(t, "run", "rodinia_gaussian", "-scale", "0.02", "-sub", "xx"); code != 1 {
+		t.Fatal("malformed -sub accepted")
+	}
+}
+
+func TestAnalyzeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	if code, _, errOut := runMain(t, "run", "rodinia_gaussian", "-scale", "0.02", "-trace", tracePath); code != 0 {
+		t.Fatalf("run failed: %s", errOut)
+	}
+	code, out, errOut := runMain(t, "analyze", tracePath)
+	if code != 0 {
+		t.Fatalf("analyze failed: %s", errOut)
+	}
+	if !strings.Contains(out, "Fold on cudaThreadSynchronize") {
+		t.Fatalf("analyze output missing findings:\n%s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if code, _, _ := runMain(t, "analyze"); code != 1 {
+		t.Fatal("missing path accepted")
+	}
+	if code, _, _ := runMain(t, "analyze", "/nonexistent/file.json"); code != 1 {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTable1Command(t *testing.T) {
+	code, out, errOut := runMain(t, "table1", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	for _, want := range []string{"Application", "cumf_als", "rodinia_gaussian", "(paper)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Command(t *testing.T) {
+	code, out, errOut := runMain(t, "table2", "-scale", "0.02", "rodinia_gaussian")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "cudaThreadSynchronize") || !strings.Contains(out, "NVProf Profiled") {
+		t.Fatalf("table2 output:\n%s", out)
+	}
+}
+
+func TestOverheadCommand(t *testing.T) {
+	code, out, errOut := runMain(t, "overhead", "rodinia_gaussian", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "total collection:") {
+		t.Fatalf("overhead output:\n%s", out)
+	}
+	if code, _, _ := runMain(t, "overhead"); code != 1 {
+		t.Fatal("missing app accepted")
+	}
+}
+
+func TestAutofixCommand(t *testing.T) {
+	code, out, errOut := runMain(t, "autofix", "rodinia_gaussian", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	for _, want := range []string{"Automatic correction plan", "realized:", "calls elided:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("autofix output missing %q:\n%s", want, out)
+		}
+	}
+	if code, _, _ := runMain(t, "autofix"); code != 1 {
+		t.Fatal("missing app accepted")
+	}
+}
+
+func TestRandomCommand(t *testing.T) {
+	code, out, errOut := runMain(t, "random", "-seed", "7", "-steps", "40")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Diogenes Estimated Savings — random-7") {
+		t.Fatalf("random output:\n%s", out)
+	}
+	if !strings.Contains(out, "CPU/GPU overlap") {
+		t.Fatal("overlap summary missing")
+	}
+}
+
+func TestMarkdownExport(t *testing.T) {
+	dir := t.TempDir()
+	mdPath := filepath.Join(dir, "report.md")
+	code, out, errOut := runMain(t, "run", "rodinia_gaussian", "-scale", "0.02", "-md", mdPath)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Markdown report exported to") {
+		t.Fatal("export confirmation missing")
+	}
+	data, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{
+		"# Diogenes findings — rodinia_gaussian",
+		"## Findings by API function",
+		"`cudaThreadSynchronize`",
+		"## Top problem sequence",
+		"## Data collection cost",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	code, out, errOut := runMain(t, "verify", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	for _, want := range []string{"Manual fix", "Automatic fix", "cumf_als", "amg", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verify output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REJECTED") {
+		t.Error("a fix was rejected on the clean workloads")
+	}
+}

@@ -1,0 +1,106 @@
+package cuda
+
+import (
+	"fmt"
+
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+)
+
+// Event API. cudaEventSynchronize is one more explicit blocking entry point
+// funnelling through the internal wait function; cudaEventQuery is the
+// polling variant applications use to avoid blocking (and a common fix for
+// misplaced synchronizations). Event records additionally let applications
+// time device work, which several of the modelled workloads' originals do.
+
+// Event function names.
+const (
+	FuncEventCreate      Func = "cudaEventCreate"
+	FuncEventRecord      Func = "cudaEventRecord"
+	FuncEventSynchronize Func = "cudaEventSynchronize"
+	FuncEventQuery       Func = "cudaEventQuery"
+	FuncEventElapsedTime Func = "cudaEventElapsedTime"
+)
+
+func init() {
+	PublicFuncs = append(PublicFuncs,
+		FuncEventCreate, FuncEventRecord, FuncEventSynchronize,
+		FuncEventQuery, FuncEventElapsedTime)
+}
+
+// Event marks a position in a stream's work queue.
+type Event struct {
+	id       int
+	recorded bool
+	// completeAt is the device time at which all work preceding the
+	// record point finishes.
+	completeAt simtime.Time
+	stream     gpu.StreamID
+}
+
+// Recorded reports whether the event has been recorded at least once.
+func (e *Event) Recorded() bool { return e.recorded }
+
+// EventCreate allocates an event.
+func (c *Context) EventCreate() *Event {
+	call := c.beginCall(FuncEventCreate, KindOther)
+	defer c.endCall(call)
+	c.nextEvent++
+	return &Event{id: c.nextEvent}
+}
+
+// EventRecord snapshots the stream's current queue position: the event
+// completes when all work enqueued so far on the stream has finished.
+func (c *Context) EventRecord(e *Event, stream gpu.StreamID) error {
+	call := c.beginCall(FuncEventRecord, KindOther)
+	defer c.endCall(call)
+	if !c.devs[c.cur].StreamExists(stream) {
+		return fmt.Errorf("cuda: EventRecord on unknown stream %d", stream)
+	}
+	e.recorded = true
+	e.stream = stream
+	e.completeAt = c.devs[c.cur].StreamBusyUntil(stream)
+	c.touchInternal(FuncInternalEnqueue)
+	return nil
+}
+
+// EventSynchronize blocks until the event's work completes — an explicit
+// synchronization through the shared internal wait function.
+func (c *Context) EventSynchronize(e *Event) error {
+	if c.elided(FuncEventSynchronize) {
+		return nil
+	}
+	call := c.beginCall(FuncEventSynchronize, KindSync)
+	defer c.endCall(call)
+	if !e.recorded {
+		return fmt.Errorf("cuda: EventSynchronize on unrecorded event %d", e.id)
+	}
+	c.internalSync(e.completeAt, SyncExplicit, call)
+	return nil
+}
+
+// EventQuery reports, without blocking, whether the event's work has
+// completed. The non-blocking alternative to EventSynchronize.
+func (c *Context) EventQuery(e *Event) (bool, error) {
+	call := c.beginCall(FuncEventQuery, KindOther)
+	defer c.endCall(call)
+	if !e.recorded {
+		return false, fmt.Errorf("cuda: EventQuery on unrecorded event %d", e.id)
+	}
+	return !c.clock.Now().Before(e.completeAt), nil
+}
+
+// EventElapsedTime returns the device-time span between two completed
+// events. Both must have completed; like the real API it errors otherwise.
+func (c *Context) EventElapsedTime(start, end *Event) (simtime.Duration, error) {
+	call := c.beginCall(FuncEventElapsedTime, KindOther)
+	defer c.endCall(call)
+	if !start.recorded || !end.recorded {
+		return 0, fmt.Errorf("cuda: EventElapsedTime on unrecorded event")
+	}
+	now := c.clock.Now()
+	if now.Before(start.completeAt) || now.Before(end.completeAt) {
+		return 0, fmt.Errorf("cuda: EventElapsedTime before completion (cudaErrorNotReady)")
+	}
+	return end.completeAt.Sub(start.completeAt), nil
+}

@@ -1,0 +1,138 @@
+package cuda
+
+import (
+	"testing"
+
+	"diogenes/internal/callstack"
+	"diogenes/internal/gpu"
+	"diogenes/internal/memory"
+	"diogenes/internal/simtime"
+)
+
+func newMultiEnv(n int) *env {
+	clock := simtime.NewClock()
+	devs := make([]*gpu.Device, n)
+	for i := range devs {
+		devs[i] = gpu.New(clock, gpu.DefaultConfig())
+	}
+	host := memory.NewSpace()
+	stack := callstack.New()
+	stack.Push("main", "main.cpp", 1)
+	return &env{
+		clock: clock, dev: devs[0], host: host, stack: stack,
+		ctx: NewMultiContext(clock, devs, host, stack, DefaultConfig()),
+	}
+}
+
+func TestSetDeviceSwitches(t *testing.T) {
+	e := newMultiEnv(4)
+	if e.ctx.DeviceCount() != 4 || e.ctx.CurrentDevice() != 0 {
+		t.Fatalf("count=%d cur=%d", e.ctx.DeviceCount(), e.ctx.CurrentDevice())
+	}
+	if err := e.ctx.SetDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	if e.ctx.CurrentDevice() != 2 {
+		t.Fatal("SetDevice did not switch")
+	}
+	if err := e.ctx.SetDevice(7); err == nil {
+		t.Fatal("out-of-range device accepted")
+	}
+	if err := e.ctx.SetDevice(-1); err == nil {
+		t.Fatal("negative device accepted")
+	}
+}
+
+func TestDevicesAreIndependent(t *testing.T) {
+	e := newMultiEnv(2)
+	// Work on device 0.
+	op0, _ := e.ctx.LaunchKernel(KernelSpec{Name: "k0", Duration: 10 * simtime.Millisecond, Stream: gpu.LegacyStream})
+	// Switch to device 1: synchronize there finds no pending work.
+	_ = e.ctx.SetDevice(1)
+	before := e.clock.Now()
+	e.ctx.DeviceSynchronize()
+	if waited := e.clock.Now().Sub(before); waited > e.ctx.Config().CallOverhead*4 {
+		t.Fatalf("device 1 sync waited %v for device 0's kernel", waited)
+	}
+	// Back on device 0, the kernel still must be waited out.
+	_ = e.ctx.SetDevice(0)
+	e.ctx.DeviceSynchronize()
+	if e.clock.Now() < op0.End {
+		t.Fatal("device 0 sync returned early")
+	}
+}
+
+func TestPerDeviceAllocation(t *testing.T) {
+	e := newMultiEnv(2)
+	b0, err := e.ctx.Malloc(1<<20, "on dev0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.ctx.SetDevice(1)
+	b1, err := e.ctx.Malloc(1<<20, "on dev1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ctx.Device().MemStats().LiveBytes != 1<<20 {
+		t.Fatal("device 1 allocation not on device 1")
+	}
+	// Freeing device 1's buffer from device 1 works; device 0's does not
+	// live here.
+	if err := e.ctx.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.ctx.SetDevice(0)
+	if err := e.ctx.Free(b0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcpyPeer(t *testing.T) {
+	e := newMultiEnv(2)
+	src, _ := e.ctx.Malloc(4096, "src on 0")
+	_ = e.dev.DevWrite(src.Base(), []byte("peer payload"))
+	_ = e.ctx.SetDevice(1)
+	dst, err := e.ctx.Malloc(4096, "dst on 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &syncRecorder{}
+	rec.attach(e.ctx)
+	if err := e.ctx.MemcpyPeer(1, dst.Base(), 0, src.Base(), 12); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.ctx.Device().DevRead(dst.Base(), 12)
+	if string(got) != "peer payload" {
+		t.Fatalf("peer copy = %q", got)
+	}
+	if len(rec.scopes) != 1 || rec.scopes[0] != SyncImplicit {
+		t.Fatalf("peer copy sync = %v", rec.scopes)
+	}
+	if err := e.ctx.MemcpyPeer(5, dst.Base(), 0, src.Base(), 12); err == nil {
+		t.Fatal("bad peer device accepted")
+	}
+}
+
+func TestMemcpyPeerWaitsBothQueues(t *testing.T) {
+	e := newMultiEnv(2)
+	src, _ := e.ctx.Malloc(4096, "src")
+	opA, _ := e.ctx.LaunchKernel(KernelSpec{Name: "busy0", Duration: 5 * simtime.Millisecond, Stream: gpu.LegacyStream})
+	_ = e.ctx.SetDevice(1)
+	dst, _ := e.ctx.Malloc(4096, "dst")
+	opB, _ := e.ctx.LaunchKernel(KernelSpec{Name: "busy1", Duration: 9 * simtime.Millisecond, Stream: gpu.LegacyStream})
+	if err := e.ctx.MemcpyPeer(1, dst.Base(), 0, src.Base(), 64); err != nil {
+		t.Fatal(err)
+	}
+	if e.clock.Now() < opA.End || e.clock.Now() < opB.End {
+		t.Fatal("peer copy returned before both queues drained")
+	}
+}
+
+func TestNewMultiContextEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty device list accepted")
+		}
+	}()
+	NewMultiContext(simtime.NewClock(), nil, memory.NewSpace(), callstack.New(), DefaultConfig())
+}

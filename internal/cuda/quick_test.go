@@ -1,0 +1,128 @@
+package cuda
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+)
+
+// TestQuickRandomOpSequences drives the driver with arbitrary operation
+// sequences and checks global invariants: the clock never goes backwards,
+// every recorded synchronization wait fits inside its call, every device
+// operation has a consistent (enqueue ≤ start ≤ end) timeline, and the
+// context's call accounting matches what was issued.
+func TestQuickRandomOpSequences(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := newEnv()
+		var issued int64
+		var lastNow simtime.Time
+
+		var waits []simtime.Duration
+		e.ctx.AttachProbe(FuncInternalSync, Probe{Exit: func(c *Call) {
+			waits = append(waits, c.SyncWait())
+		}})
+
+		buf, err := e.ctx.Malloc(64<<10, "buf")
+		if err != nil {
+			return false
+		}
+		issued++
+		host := e.host.Alloc(64<<10, "host")
+		stream := e.ctx.StreamCreate()
+		issued++
+
+		for i, op := range ops {
+			if i > 40 {
+				break
+			}
+			switch op % 7 {
+			case 0:
+				if _, err := e.ctx.LaunchKernel(KernelSpec{
+					Name: "k", Duration: simtime.Duration(op) * 37 * simtime.Microsecond,
+					Stream: gpu.LegacyStream,
+				}); err != nil {
+					return false
+				}
+				issued++
+			case 1:
+				if _, err := e.ctx.LaunchKernel(KernelSpec{
+					Name: "k2", Duration: simtime.Duration(op%13) * 100 * simtime.Microsecond,
+					Stream: stream,
+				}); err != nil {
+					return false
+				}
+				issued++
+			case 2:
+				if err := e.ctx.MemcpyH2D(buf.Base(), host.Base(), 1024); err != nil {
+					return false
+				}
+				issued++
+			case 3:
+				if err := e.ctx.MemcpyD2H(host.Base(), buf.Base(), 1024); err != nil {
+					return false
+				}
+				issued++
+			case 4:
+				e.ctx.DeviceSynchronize()
+				issued++
+			case 5:
+				e.ctx.StreamSynchronize(stream)
+				issued++
+			case 6:
+				e.clock.Advance(simtime.Duration(op) * simtime.Microsecond)
+			}
+			if e.clock.Now() < lastNow {
+				return false // clock moved backwards
+			}
+			lastNow = e.clock.Now()
+		}
+
+		for _, w := range waits {
+			if w < 0 {
+				return false
+			}
+		}
+		for _, op := range e.dev.Ops() {
+			if op.Start < op.Enqueue {
+				return false
+			}
+			if op.End != simtime.Infinity && op.End < op.Start {
+				return false
+			}
+		}
+		return e.ctx.TotalCalls() == issued
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSyncDrainsDevice checks that after DeviceSynchronize the device
+// reports no pending work, for arbitrary preceding op mixes.
+func TestQuickSyncDrainsDevice(t *testing.T) {
+	f := func(durs []uint8) bool {
+		e := newEnv()
+		s := e.ctx.StreamCreate()
+		for i, d := range durs {
+			if i > 15 {
+				break
+			}
+			target := gpu.LegacyStream
+			if d%2 == 1 {
+				target = s
+			}
+			if _, err := e.ctx.LaunchKernel(KernelSpec{
+				Name: "k", Duration: simtime.Duration(d) * 53 * simtime.Microsecond, Stream: target,
+			}); err != nil {
+				return false
+			}
+		}
+		e.ctx.DeviceSynchronize()
+		return e.dev.BusyUntil() <= e.clock.Now()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package ffm
+
+import (
+	"sort"
+
+	"diogenes/internal/ffm/graph"
+	"diogenes/internal/simtime"
+)
+
+// APIFold is the Figure 7 display unit: all problematic operations of one
+// CUDA API function folded together ("Fold on cudaFree"), expandable into
+// the demangled calling functions responsible ("Expansion of Problem" —
+// thrust::detail::contiguous_storage<...>, thrust::pair<...>, ...).
+type APIFold struct {
+	Func    string
+	Benefit simtime.Duration
+	Percent float64
+	// Children break the fold down by demangled base name of the calling
+	// function, descending by benefit.
+	Children []APIFoldChild
+}
+
+// APIFoldChild is one calling-function expansion entry.
+type APIFoldChild struct {
+	// Caller is the *mangled* name of a representative instantiation, the
+	// way the tool displays it (Figure 7 shows template parameters
+	// abbreviated; reports render Caller directly).
+	Caller string
+	// Base is the demangled fold key the instantiations share.
+	Base    string
+	Benefit simtime.Duration
+	Percent float64
+	Count   int
+}
+
+// APIFolds groups the per-node expected benefits by API function and, within
+// each, by the demangled base name of the immediate calling function.
+func (a *Analysis) APIFolds() []APIFold {
+	res := graph.ExpectedBenefit(a.Graph, a.Opts.Graph)
+	type childAcc struct {
+		caller  string
+		benefit simtime.Duration
+		count   int
+	}
+	folds := make(map[string]*APIFold)
+	children := make(map[string]map[string]*childAcc)
+	var order []string
+
+	for _, nb := range res.PerNode {
+		fn := nb.Node.Func
+		f, ok := folds[fn]
+		if !ok {
+			f = &APIFold{Func: fn}
+			folds[fn] = f
+			children[fn] = make(map[string]*childAcc)
+			order = append(order, fn)
+		}
+		f.Benefit += nb.Benefit
+		leaf := nb.Node.Stack.Leaf()
+		base := leaf.BaseName()
+		c, ok := children[fn][base]
+		if !ok {
+			c = &childAcc{caller: leaf.Function}
+			children[fn][base] = c
+		}
+		c.benefit += nb.Benefit
+		c.count++
+	}
+
+	out := make([]APIFold, 0, len(folds))
+	for _, fn := range order {
+		f := folds[fn]
+		f.Percent = a.Percent(f.Benefit)
+		for base, c := range children[fn] {
+			f.Children = append(f.Children, APIFoldChild{
+				Caller:  c.caller,
+				Base:    base,
+				Benefit: c.benefit,
+				Percent: a.Percent(c.benefit),
+				Count:   c.count,
+			})
+		}
+		sort.Slice(f.Children, func(i, j int) bool {
+			if f.Children[i].Benefit != f.Children[j].Benefit {
+				return f.Children[i].Benefit > f.Children[j].Benefit
+			}
+			return f.Children[i].Base < f.Children[j].Base
+		})
+		out = append(out, *f)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Benefit > out[j].Benefit })
+	return out
+}

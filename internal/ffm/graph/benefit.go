@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"diogenes/internal/simtime"
+)
+
+// Options configures the expected-benefit evaluation.
+type Options struct {
+	// ClampMisplacedBenefit bounds a misplaced synchronization's benefit at
+	// the wait's own duration. Figure 5's pseudocode returns
+	// Node.FirstUseTime unclamped; physically no more than the wait itself
+	// can be recovered, so this deviation is offered as an option and both
+	// behaviours are tested. Off by default for fidelity to the paper.
+	ClampMisplacedBenefit bool
+}
+
+// NodeBenefit is the per-node outcome of an evaluation.
+type NodeBenefit struct {
+	Node    *Node
+	Benefit simtime.Duration
+}
+
+// Result is the outcome of running ExpectedBenefit over a graph.
+type Result struct {
+	PerNode []NodeBenefit
+	Total   simtime.Duration
+}
+
+// ExpectedBenefit runs Figure 5's algorithm over a clone of g: it iterates
+// the problematic nodes in chain order and models the effect of fixing each
+// one, mutating edge durations as it goes so later estimates see the graph
+// as it would look after earlier fixes. g itself is not modified.
+func ExpectedBenefit(g *Graph, opts Options) Result {
+	work := g.Clone()
+	var res Result
+	for i, n := range work.CPU {
+		if !n.Problematic() {
+			continue
+		}
+		var est simtime.Duration
+		switch n.Problem {
+		case UnnecessarySync:
+			est = removeSynchronization(work, i)
+		case MisplacedSync:
+			est = moveSynchronization(work, i, opts)
+		case UnnecessaryTransfer:
+			est = removeMemoryTransfer(work, i)
+		}
+		// Report against the caller's node, not the clone's.
+		res.PerNode = append(res.PerNode, NodeBenefit{Node: g.CPU[i], Benefit: est})
+		res.Total += est
+	}
+	return res
+}
+
+// removeSynchronization is Figure 5's RemoveSyncronization: the benefit of
+// deleting the wait at index i is bounded by the GPU idle time available
+// between it and the next synchronization; whatever cannot be absorbed
+// reappears as added wait at the next synchronization.
+func removeSynchronization(g *Graph, i int) simtime.Duration {
+	node := g.CPU[i]
+	next := g.NextSyncIndex(i)
+	estMaxGPUIdle := g.SumDurationBetween(i, next)
+	pool := node.OutCPU + node.inherited
+	estBenefit := minDuration(estMaxGPUIdle, pool)
+	if next < len(g.CPU) {
+		g.CPU[next].inherited += pool - estBenefit
+	}
+	node.OutCPU = 0
+	node.inherited = 0
+	return estBenefit
+}
+
+// moveSynchronization is Figure 5's MisplacedSynchronization: moving the
+// wait later by FirstUseTime lets the GPU run during that span, so the
+// expected benefit is the time-to-first-use collected in stage 4.
+func moveSynchronization(g *Graph, i int, opts Options) simtime.Duration {
+	node := g.CPU[i]
+	estBenefit := node.FirstUseTime
+	if opts.ClampMisplacedBenefit {
+		estBenefit = minDuration(estBenefit, node.OutCPU)
+	}
+	node.OutCPU -= estBenefit
+	if node.OutCPU < 0 {
+		node.OutCPU = 0
+	}
+	return estBenefit
+}
+
+// removeMemoryTransfer is Figure 5's RemoveMemoryTransfer: the benefit of
+// deleting an unnecessary transfer is the CPU time of its CLaunch event —
+// its own duration only. Wait time inherited from upstream removals is not
+// the transfer's to claim; it moves on to the next surviving
+// synchronization.
+func removeMemoryTransfer(g *Graph, i int) simtime.Duration {
+	node := g.CPU[i]
+	estBenefit := node.OutCPU
+	if node.inherited > 0 {
+		if next := g.NextSyncIndex(i); next < len(g.CPU) {
+			g.CPU[next].inherited += node.inherited
+		}
+		node.inherited = 0
+	}
+	node.OutCPU = 0
+	return estBenefit
+}
+
+// SequenceBenefit evaluates a contiguous sequence of problematic nodes with
+// the §3.5.2 carry-forward modification: unnecessary-synchronization delay
+// that cannot be absorbed by GPU idle time before the next synchronization
+// is carried forward to later nodes in the sequence, "allowing for large
+// unnecessary synchronization delays to be profitably corrected". nodes
+// must be the sequence members in chain order (identified by ID in g); the
+// evaluation works on a clone and returns per-node realized benefits.
+func SequenceBenefit(g *Graph, nodes []*Node, opts Options) Result {
+	work := g.Clone()
+	member := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		member[n.ID] = true
+	}
+	var res Result
+	var carry simtime.Duration
+	for i, n := range work.CPU {
+		if n.Type == CWait && !member[n.ID] && !n.Problematic() {
+			// A necessary synchronization ends any sequence: savings
+			// carried into it are lost there.
+			carry = 0
+		}
+		if !member[n.ID] || !n.Problematic() {
+			continue
+		}
+		var est simtime.Duration
+		switch n.Problem {
+		case UnnecessarySync:
+			next := work.NextSyncIndex(i)
+			idle := work.SumDurationBetween(i, next)
+			pool := n.OutCPU + carry
+			est = minDuration(idle, pool)
+			carry = pool - est
+			n.OutCPU = 0
+		case MisplacedSync:
+			est = moveSynchronization(work, i, opts)
+		case UnnecessaryTransfer:
+			est = removeMemoryTransfer(work, i)
+		}
+		orig := nodeByID(g, n.ID)
+		res.PerNode = append(res.PerNode, NodeBenefit{Node: orig, Benefit: est})
+		res.Total += est
+	}
+	// Whatever is still carried reaches the necessary synchronization that
+	// terminates the sequence and is lost there.
+	return res
+}
+
+func nodeByID(g *Graph, id int) *Node {
+	// CPU IDs are assigned densely by AddCPU, so this is an index lookup
+	// guarded for safety.
+	if id >= 0 && id < len(g.CPU) && g.CPU[id].ID == id {
+		return g.CPU[id]
+	}
+	for _, n := range g.CPU {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+func minDuration(a, b simtime.Duration) simtime.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

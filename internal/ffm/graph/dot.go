@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the CPU chain as a Graphviz digraph in the style of the
+// paper's Figure 4: one node per event, edges labelled with the real-time
+// duration between events, problematic nodes highlighted. Intended for
+// inspecting small graphs (unit examples, single iterations); for full
+// traces use the timeline export instead.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  label=%q;\n", title)
+	for i, n := range g.CPU {
+		label := n.Type.String()
+		if n.Func != "" {
+			label = fmt.Sprintf("%s\\n%s", n.Type, n.Func)
+		}
+		attrs := ""
+		switch n.Problem {
+		case UnnecessarySync:
+			attrs = `, style=filled, fillcolor="#f4cccc"`
+		case MisplacedSync:
+			attrs = `, style=filled, fillcolor="#fce5cd"`
+		case UnnecessaryTransfer:
+			attrs = `, style=filled, fillcolor="#d9d2e9"`
+		}
+		fmt.Fprintf(w, "  c%d [label=\"%s\"%s];\n", i, escape(label), attrs)
+		if i+1 < len(g.CPU) {
+			fmt.Fprintf(w, "  c%d -> c%d [label=%q];\n", i, i+1, g.CPU[i].OutCPU.String())
+		}
+	}
+	if len(g.GPU) > 0 {
+		fmt.Fprintf(w, "  subgraph cluster_gpu {\n    label=\"GPU\";\n")
+		for i, n := range g.GPU {
+			fmt.Fprintf(w, "    g%d [label=%q, shape=ellipse];\n", i, n.Type.String())
+		}
+		fmt.Fprintf(w, "  }\n")
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"diogenes/internal/simtime"
+)
+
+// GroupKind identifies one of §3.5.2's node groupings.
+type GroupKind uint8
+
+// Group kinds.
+const (
+	SinglePoint GroupKind = iota
+	FoldedFunction
+	Sequence
+)
+
+// String names the grouping.
+func (k GroupKind) String() string {
+	switch k {
+	case SinglePoint:
+		return "single point"
+	case FoldedFunction:
+		return "folded function"
+	case Sequence:
+		return "sequence"
+	default:
+		return fmt.Sprintf("GroupKind(%d)", uint8(k))
+	}
+}
+
+// Group is a set of problematic nodes that one source-level fix would
+// correct, with their combined expected benefit.
+type Group struct {
+	Kind    GroupKind
+	Key     string
+	Label   string
+	Nodes   []*Node
+	Benefit simtime.Duration
+	// Syncs and Transfers count the problem types inside the group (the
+	// "Number of Sync Issues / Number of Transfer Issues" of Figure 6).
+	Syncs     int
+	Transfers int
+}
+
+func (g *Group) count() {
+	g.Syncs, g.Transfers = 0, 0
+	for _, n := range g.Nodes {
+		if n.Problem == UnnecessaryTransfer {
+			g.Transfers++
+		} else if n.Problematic() {
+			g.Syncs++
+		}
+	}
+}
+
+// pointLabel renders a node the way the CLI lists sequence entries:
+// "cudaMemcpy in als.cpp at line 738".
+func pointLabel(n *Node) string {
+	leaf := n.Stack.Leaf()
+	if leaf.File == "" {
+		return n.Func
+	}
+	return fmt.Sprintf("%s in %s at line %d", n.Func, leaf.File, leaf.Line)
+}
+
+// SinglePointGroups combines the expected benefit of problematic nodes with
+// identical stack traces matched by instruction address (exact
+// function/file/line chain). One evaluation pass supplies the per-node
+// benefits; groups are returned sorted by descending benefit.
+func SinglePointGroups(g *Graph, opts Options) []Group {
+	return groupBy(g, opts, SinglePoint, func(n *Node) (string, string) {
+		key := n.Func + "|" + n.Stack.Key()
+		return key, pointLabel(n)
+	})
+}
+
+// FoldedFunctionGroups combines nodes whose stack traces match by demangled
+// base function name, so all instantiations of one template fold together
+// (§3.5.2). Labelled "Fold on <api function>".
+func FoldedFunctionGroups(g *Graph, opts Options) []Group {
+	return groupBy(g, opts, FoldedFunction, func(n *Node) (string, string) {
+		key := n.Func + "|" + n.Stack.FoldKey()
+		return key, "Fold on " + n.Func
+	})
+}
+
+func groupBy(g *Graph, opts Options, kind GroupKind, keyer func(*Node) (key, label string)) []Group {
+	res := ExpectedBenefit(g, opts)
+	byKey := make(map[string]*Group)
+	var order []string
+	for _, nb := range res.PerNode {
+		key, label := keyer(nb.Node)
+		grp, ok := byKey[key]
+		if !ok {
+			grp = &Group{Kind: kind, Key: key, Label: label}
+			byKey[key] = grp
+			order = append(order, key)
+		}
+		grp.Nodes = append(grp.Nodes, nb.Node)
+		grp.Benefit += nb.Benefit
+	}
+	out := make([]Group, 0, len(byKey))
+	for _, key := range order {
+		grp := byKey[key]
+		grp.count()
+		out = append(out, *grp)
+	}
+	sortGroups(out)
+	return out
+}
+
+// Sequences identifies the contiguous problem sequences of §3.5.2: each
+// starts at a problematic node and extends along the CPU chain until a node
+// performing a *necessary* synchronization (a CWait with no problem) is
+// reached. Non-synchronizing nodes (CWork, CLaunch) may appear inside. The
+// returned groups are evaluated with the carry-forward rule and sorted by
+// descending benefit.
+func Sequences(g *Graph, opts Options) []Group {
+	var out []Group
+	i := 0
+	for i < len(g.CPU) {
+		if !g.CPU[i].Problematic() {
+			i++
+			continue
+		}
+		// Extend until a necessary synchronization.
+		var members []*Node
+		j := i
+		for j < len(g.CPU) {
+			n := g.CPU[j]
+			if n.Type == CWait && !n.Problematic() {
+				break
+			}
+			if n.Problematic() {
+				members = append(members, n)
+			}
+			j++
+		}
+		res := SequenceBenefit(g, members, opts)
+		grp := Group{
+			Kind:    Sequence,
+			Key:     fmt.Sprintf("seq@%d", members[0].ID),
+			Label:   "Sequence starting at call " + pointLabel(members[0]),
+			Nodes:   members,
+			Benefit: res.Total,
+		}
+		grp.count()
+		out = append(out, grp)
+		i = j + 1
+	}
+	sortGroups(out)
+	return out
+}
+
+// Subsequence re-evaluates entries [from, to] (1-based, inclusive, matching
+// the numbered CLI listing of Figure 6) of an existing sequence group,
+// without any further data collection — the §5.1 refinement used to find
+// the fixable core of cumf_als' 23-operation sequence (Figure 8).
+func Subsequence(g *Graph, seq Group, from, to int, opts Options) (Group, error) {
+	if seq.Kind != Sequence {
+		return Group{}, fmt.Errorf("graph: Subsequence of %v group", seq.Kind)
+	}
+	if from < 1 || to > len(seq.Nodes) || from > to {
+		return Group{}, fmt.Errorf("graph: subsequence [%d,%d] out of range 1..%d", from, to, len(seq.Nodes))
+	}
+	members := seq.Nodes[from-1 : to]
+	res := SequenceBenefit(g, members, opts)
+	grp := Group{
+		Kind:    Sequence,
+		Key:     fmt.Sprintf("%s[%d:%d]", seq.Key, from, to),
+		Label:   fmt.Sprintf("Subsequence %d..%d of %s", from, to, seq.Label),
+		Nodes:   members,
+		Benefit: res.Total,
+	}
+	grp.count()
+	return grp, nil
+}
+
+func sortGroups(gs []Group) {
+	sort.SliceStable(gs, func(i, j int) bool { return gs[i].Benefit > gs[j].Benefit })
+}

@@ -1,0 +1,68 @@
+package ffm
+
+import (
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+)
+
+// OverlapStats summarizes how well the application overlaps CPU and GPU
+// work — the quantity Diogenes' fixes improve ("moved (or removed) to
+// improve CPU/GPU overlap safely", §1). All figures come from the
+// uninstrumented reference run.
+type OverlapStats struct {
+	ExecTime simtime.Duration
+	// GPUBusy is total device-busy time (union over streams and devices).
+	GPUBusy simtime.Duration
+	// GPUIdle is ExecTime - GPUBusy.
+	GPUIdle simtime.Duration
+	// CPUBlocked is the total synchronization wait on the CPU side, from
+	// the analysed trace.
+	CPUBlocked simtime.Duration
+	// GPUUtilization is GPUBusy / ExecTime (0..1, can exceed 1 with
+	// multiple devices).
+	GPUUtilization float64
+	// BlockedShare is CPUBlocked / ExecTime.
+	BlockedShare float64
+}
+
+// Overlap computes the report's CPU/GPU overlap statistics.
+func (r *Report) Overlap() OverlapStats {
+	horizon := simtime.Time(r.UninstrumentedTime)
+	var spans []gpu.Span
+	for _, op := range r.DeviceOps {
+		s, e := op.Start, op.End
+		if s >= horizon {
+			continue
+		}
+		if e > horizon {
+			e = horizon
+		}
+		if e > s {
+			spans = append(spans, gpu.Span{Start: s, End: e})
+		}
+	}
+	var busy simtime.Duration
+	for _, s := range gpu.MergeSpans(spans) {
+		busy += s.End.Sub(s.Start)
+	}
+
+	var blocked simtime.Duration
+	if r.Trace != nil {
+		blocked = r.Trace.TotalSyncWait()
+	}
+
+	st := OverlapStats{
+		ExecTime:   r.UninstrumentedTime,
+		GPUBusy:    busy,
+		GPUIdle:    r.UninstrumentedTime - busy,
+		CPUBlocked: blocked,
+	}
+	if st.GPUIdle < 0 {
+		st.GPUIdle = 0
+	}
+	if r.UninstrumentedTime > 0 {
+		st.GPUUtilization = float64(busy) / float64(r.UninstrumentedTime)
+		st.BlockedShare = float64(blocked) / float64(r.UninstrumentedTime)
+	}
+	return st
+}

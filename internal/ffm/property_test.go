@@ -1,0 +1,124 @@
+package ffm
+
+// Whole-pipeline property tests: the five stages plus analysis run over
+// seeded random workloads (apps.RandomApp), checking invariants no matter
+// what call pattern the generator produces.
+
+import (
+	"testing"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/proc"
+)
+
+func randomReport(t *testing.T, seed uint64) *Report {
+	t.Helper()
+	rep, err := Run(apps.NewRandomApp(seed, 60), DefaultConfig())
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return rep
+}
+
+func TestPropertyPipelineInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		rep := randomReport(t, seed)
+		a := rep.Analysis
+
+		if err := a.Graph.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		total := a.TotalBenefit()
+		if total < 0 {
+			t.Fatalf("seed %d: negative benefit %v", seed, total)
+		}
+		// The (unclamped) estimate is bounded by total CPU edge time plus
+		// stage-4 first-use credits; a sane ceiling is 2x execution.
+		if total > 2*a.ExecTime {
+			t.Fatalf("seed %d: benefit %v exceeds 2x execution %v", seed, total, a.ExecTime)
+		}
+		// Groupings partition the same per-node benefits: single-point sums
+		// equal the plain total.
+		var pointSum, foldSum int64
+		for _, g := range a.SinglePoints {
+			pointSum += int64(g.Benefit)
+		}
+		for _, g := range a.Folds {
+			foldSum += int64(g.Benefit)
+		}
+		if pointSum != int64(total) || foldSum != int64(total) {
+			t.Fatalf("seed %d: grouping sums diverge: points %d folds %d total %d",
+				seed, pointSum, foldSum, int64(total))
+		}
+		// Collection always costs more than the uninstrumented run.
+		if rep.CollectionCost() <= rep.UninstrumentedTime {
+			t.Fatalf("seed %d: collection cost accounting broken", seed)
+		}
+	}
+}
+
+func TestPropertyPipelineDeterministic(t *testing.T) {
+	for seed := uint64(20); seed <= 23; seed++ {
+		a := randomReport(t, seed)
+		b := randomReport(t, seed)
+		if a.UninstrumentedTime != b.UninstrumentedTime {
+			t.Fatalf("seed %d: exec time differs", seed)
+		}
+		if a.Analysis.TotalBenefit() != b.Analysis.TotalBenefit() {
+			t.Fatalf("seed %d: benefit differs", seed)
+		}
+		ra, rb := a.Trace.Records, b.Trace.Records
+		if len(ra) != len(rb) {
+			t.Fatalf("seed %d: record counts differ: %d vs %d", seed, len(ra), len(rb))
+		}
+		for i := range ra {
+			x, y := ra[i], rb[i]
+			if x.Func != y.Func || x.Entry != y.Entry || x.Exit != y.Exit ||
+				x.Duplicate != y.Duplicate || x.ProtectedAccess != y.ProtectedAccess ||
+				x.FirstUse != y.FirstUse {
+				t.Fatalf("seed %d: record %d differs between runs:\n%+v\n%+v", seed, i, x, y)
+			}
+		}
+	}
+}
+
+func TestPropertyRecordsWellFormed(t *testing.T) {
+	for seed := uint64(30); seed <= 35; seed++ {
+		rep := randomReport(t, seed)
+		var prevEntry int64 = -1
+		for i, rec := range rep.Trace.Records {
+			if rec.Exit < rec.Entry {
+				t.Fatalf("seed %d rec %d: exit before entry", seed, i)
+			}
+			if rec.SyncWait < 0 || rec.SyncWait > rec.Duration() {
+				t.Fatalf("seed %d rec %d: sync wait %v outside call %v",
+					seed, i, rec.SyncWait, rec.Duration())
+			}
+			if int64(rec.Entry) < prevEntry {
+				t.Fatalf("seed %d rec %d: records out of order", seed, i)
+			}
+			prevEntry = int64(rec.Entry)
+			if len(rec.Stack) == 0 {
+				t.Fatalf("seed %d rec %d: missing stack", seed, i)
+			}
+		}
+	}
+}
+
+func TestPropertyMultiDevicePipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Factory = proc.Factory{
+		GPU: cfg.Factory.GPU, CUDA: cfg.Factory.CUDA, Devices: 3,
+	}
+	for seed := uint64(40); seed <= 43; seed++ {
+		app := apps.NewRandomApp(seed, 50)
+		app.MaxDevices = 3
+		rep, err := Run(app, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Analysis.Graph.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

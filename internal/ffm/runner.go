@@ -1,0 +1,136 @@
+package ffm
+
+import (
+	"fmt"
+
+	"diogenes/internal/gpu"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+	"diogenes/internal/trace"
+)
+
+// Config configures a full FFM run.
+type Config struct {
+	Factory   proc.Factory
+	Overheads Overheads
+	Analysis  AnalysisOptions
+}
+
+// DefaultConfig returns the standard tool configuration.
+func DefaultConfig() Config {
+	return Config{
+		Factory:   proc.DefaultFactory(),
+		Overheads: DefaultOverheads(),
+		Analysis:  DefaultAnalysisOptions(),
+	}
+}
+
+// Report is the complete output of the FFM pipeline for one application.
+type Report struct {
+	App string
+
+	// UninstrumentedTime is the application's execution time with no
+	// probes attached — the denominator for benefit percentages and the
+	// overhead multiple.
+	UninstrumentedTime simtime.Duration
+
+	Baseline *BaselineResult
+	Analysis *Analysis
+
+	// Trace is the fully annotated stage-4 run (stage-2 timings merged in)
+	// that stage 5 analysed — the JSON interchange payload other tools can
+	// consume (§4).
+	Trace *trace.Run
+
+	// DeviceOps is the device-operation log of the uninstrumented
+	// reference run, for timeline visualization. Its timestamps line up
+	// with the overhead-compensated trace timestamps to within the
+	// compensation error.
+	DeviceOps []*gpu.Op
+
+	// Stage execution times, for the §5.3 overhead accounting.
+	Stage1Time simtime.Duration
+	Stage2Time simtime.Duration
+	Stage3Time simtime.Duration
+	Stage4Time simtime.Duration
+}
+
+// CollectionCost is the total virtual time spent executing the application
+// under instrumentation across all collection stages.
+func (r *Report) CollectionCost() simtime.Duration {
+	return r.Stage1Time + r.Stage2Time + r.Stage3Time + r.Stage4Time
+}
+
+// OverheadMultiple is CollectionCost divided by the uninstrumented
+// execution time — the figure §5.3 reports as 8× (cumf_als) to 20× (cuIBM).
+func (r *Report) OverheadMultiple() float64 {
+	if r.UninstrumentedTime <= 0 {
+		return 0
+	}
+	return float64(r.CollectionCost()) / float64(r.UninstrumentedTime)
+}
+
+// EstimatedBenefitPercent expresses a benefit duration against the
+// uninstrumented execution time.
+func (r *Report) EstimatedBenefitPercent(d simtime.Duration) float64 {
+	if r.UninstrumentedTime <= 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(r.UninstrumentedTime)
+}
+
+// Run executes the full five-stage FFM pipeline on the application: an
+// uninstrumented reference run, stage 1 (discovery + baseline), stage 2
+// (detailed tracing), stage 3 (memory tracing and data hashing), stage 4
+// (sync-use analysis) and stage 5 (analysis). No user interaction happens
+// between stages (§3: "the execution of these stages is designed to be
+// automated").
+//
+// Deviation from the prototype: Diogenes runs stages 1–3 separately for
+// synchronization and transfer problems and merges in stage 5 (§4); here a
+// single combined collection per stage gathers both, which preserves every
+// analysis input while halving the number of runs. The overhead model
+// accounts for the combined probes.
+func Run(app proc.App, cfg Config) (*Report, error) {
+	rep := &Report{App: app.Name()}
+
+	// Reference run: completely uninstrumented.
+	p := cfg.Factory.New()
+	if err := proc.SafeRun(app, p); err != nil {
+		return nil, fmt.Errorf("ffm: uninstrumented run of %s: %w", app.Name(), err)
+	}
+	rep.UninstrumentedTime = p.ExecTime()
+	rep.DeviceOps = p.Dev.Ops()
+
+	base, err := RunBaseline(app, cfg.Factory, cfg.Overheads)
+	if err != nil {
+		return nil, err
+	}
+	rep.Baseline = base
+	rep.Stage1Time = base.ExecTime
+
+	stage2, err := RunDetailedTracing(app, cfg.Factory, base, cfg.Overheads)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stage2Time = stage2.RawExecTime
+
+	stage3, err := RunMemoryTracing(app, cfg.Factory, base, cfg.Overheads)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stage3Time = stage3.RawExecTime
+
+	stage4, stage4Time, err := RunSyncUse(app, cfg.Factory, base, stage3, cfg.Overheads)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stage4Time = stage4Time
+
+	// Use the lightweight stage-2 timings for the benefit model, keeping
+	// the stage-3/4 problem annotations.
+	MatchStage2Timing(stage4, stage2)
+	rep.Trace = stage4
+	rep.Analysis = Analyze(stage4, cfg.Analysis)
+	return rep, nil
+}

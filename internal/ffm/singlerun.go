@@ -1,0 +1,102 @@
+package ffm
+
+import (
+	"fmt"
+
+	"diogenes/internal/cuda"
+	"diogenes/internal/interpose"
+	"diogenes/internal/proc"
+	"diogenes/internal/trace"
+)
+
+// This file implements the single-run ablation motivating FFM's multi-run
+// design (§2.1): "Paradyn performs multiple stages of instrumentation over a
+// single run of the application. ... operations that are impactful can be
+// missed if the operation completes before Paradyn determines the operation
+// is important. To avoid potential gaps in collection and analysis, FFM
+// uses a multi-run model to ensure that all important operations are known
+// in advance so that detail is not missed."
+//
+// RunSingleRun performs stage-1 discovery and stage-2 tracing inside one
+// execution: the internal sync funnel is watched from the start, and a
+// detailed tracer is attached to each synchronizing API function only when
+// that function is *first observed* synchronizing. Every occurrence before
+// its function's discovery is lost — the gap the multi-run model closes.
+
+// SingleRunResult is the outcome of the single-run ablation.
+type SingleRunResult struct {
+	Run *trace.Run
+	// MissedSyncs counts synchronization events that occurred before their
+	// API function had been discovered and instrumented — detail a
+	// single-run tool permanently loses.
+	MissedSyncs int64
+	// ObservedSyncs counts synchronization events that were fully traced.
+	ObservedSyncs int64
+}
+
+// MissedFraction returns the share of synchronization events whose detail
+// was lost to late discovery.
+func (r *SingleRunResult) MissedFraction() float64 {
+	total := r.MissedSyncs + r.ObservedSyncs
+	if total == 0 {
+		return 0
+	}
+	return float64(r.MissedSyncs) / float64(total)
+}
+
+// RunSingleRun executes the Paradyn-style single-run combination of stages
+// 1 and 2. The sync funnel must already be known (discovery's spin-kernel
+// test cannot run inside a production execution); pass the result of
+// interpose.Discover.
+func RunSingleRun(app proc.App, factory proc.Factory, funnel cuda.Func, ov Overheads) (*SingleRunResult, error) {
+	p := factory.New()
+	res := &SingleRunResult{}
+
+	instrumented := make(map[cuda.Func]bool)
+	var tracers []*interpose.CallTracer
+
+	// Watch the funnel from the start. On each synchronization, check
+	// whether the responsible API function is instrumented yet; if not,
+	// this event's detail is lost and the function is instrumented *from
+	// the next occurrence on* — the single-run compromise.
+	p.Ctx.AttachProbe(funnel, cuda.Probe{
+		Overhead: ov.Stage1Probe,
+		Exit: func(c *cuda.Call) {
+			if instrumented[c.Caller] {
+				res.ObservedSyncs++
+				return
+			}
+			res.MissedSyncs++
+			instrumented[c.Caller] = true
+			tracers = append(tracers, interpose.NewCallTracer(p.Ctx, []cuda.Func{c.Caller}, interpose.TracerOptions{
+				Overhead:      ov.Stage2Probe,
+				CaptureStacks: true,
+			}))
+		},
+	})
+
+	if err := proc.SafeRun(app, p); err != nil {
+		return nil, fmt.Errorf("ffm single-run: running %s: %w", app.Name(), err)
+	}
+
+	run := &trace.Run{
+		App:         app.Name(),
+		Stage:       2,
+		ExecTime:    p.ExecTime() - p.Ctx.InstrumentationOverhead(),
+		RawExecTime: p.ExecTime(),
+		TotalCalls:  p.Ctx.TotalCalls(),
+	}
+	for _, t := range tracers {
+		recs := t.Records()
+		// The tracer was attached from *inside* the discovering call, so
+		// its first record never saw entry instrumentation: a real
+		// mid-run attach produces no usable record for the call already
+		// in flight. Drop it — that is precisely the lost detail.
+		if len(recs) > 0 {
+			recs = recs[1:]
+		}
+		run.Records = append(run.Records, recs...)
+	}
+	res.Run = run
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package ffm
+
+import (
+	"testing"
+
+	"diogenes/internal/cuda"
+	"diogenes/internal/interpose"
+	"diogenes/internal/proc"
+)
+
+func TestSingleRunMissesEarlyOperations(t *testing.T) {
+	app := &testApp{iters: 4}
+	factory := proc.DefaultFactory()
+	funnel, err := interpose.Discover(func() *cuda.Context { return factory.New().Ctx })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single, err := RunSingleRun(app, factory, funnel, DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each synchronizing API function's first occurrence is missed: the
+	// test app synchronizes via cudaMemcpy, cudaDeviceSynchronize and
+	// cudaFree, so at least 3 events are lost.
+	if single.MissedSyncs < 3 {
+		t.Fatalf("MissedSyncs = %d, want >= 3 (one per late-discovered function)",
+			single.MissedSyncs)
+	}
+	if single.ObservedSyncs == 0 {
+		t.Fatal("nothing observed after discovery")
+	}
+	f := single.MissedFraction()
+	if f <= 0 || f >= 1 {
+		t.Fatalf("MissedFraction = %v", f)
+	}
+
+	// The multi-run pipeline captures every occurrence.
+	base, err := RunBaseline(app, factory, DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunDetailedTracing(app, factory, base, DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiSyncs := int64(0)
+	for _, rec := range multi.Records {
+		if rec.SyncWait > 0 || rec.Class == "sync" {
+			multiSyncs++
+		}
+	}
+	if int64(len(single.Run.Records)) >= int64(len(multi.Records)) {
+		t.Fatalf("single-run traced %d records, multi-run %d — multi must see more",
+			len(single.Run.Records), len(multi.Records))
+	}
+	if single.ObservedSyncs+single.MissedSyncs != base.SyncEvents {
+		t.Fatalf("event accounting: single %d+%d vs baseline %d",
+			single.ObservedSyncs, single.MissedSyncs, base.SyncEvents)
+	}
+}
+
+func TestSingleRunMissedFractionShrinksWithLength(t *testing.T) {
+	// The longer the run, the smaller the missed share — but it never
+	// reaches zero, which is §2.1's point: a single fixed run always pays
+	// a discovery gap.
+	factory := proc.DefaultFactory()
+	funnel, err := interpose.Discover(func() *cuda.Context { return factory.New().Ctx })
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := RunSingleRun(&testApp{iters: 2}, factory, funnel, DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RunSingleRun(&testApp{iters: 12}, factory, funnel, DefaultOverheads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.MissedFraction() >= short.MissedFraction() {
+		t.Fatalf("missed fraction did not shrink: short %.3f, long %.3f",
+			short.MissedFraction(), long.MissedFraction())
+	}
+	if long.MissedSyncs == 0 {
+		t.Fatal("discovery gap vanished entirely")
+	}
+}
+
+func TestMissedFractionEmpty(t *testing.T) {
+	r := &SingleRunResult{}
+	if r.MissedFraction() != 0 {
+		t.Fatal("empty result should report 0")
+	}
+}

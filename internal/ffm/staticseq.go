@@ -1,0 +1,156 @@
+package ffm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diogenes/internal/ffm/graph"
+	"diogenes/internal/simtime"
+)
+
+// SequenceEntry is one numbered line of a static sequence listing — a
+// single program point aggregating every dynamic instance of the operation
+// (Figure 6's "10. cudaFree in als.cpp at line 856").
+type SequenceEntry struct {
+	Index   int              // 1-based position in the listing
+	Label   string           // "cudaFree in als.cpp at line 856"
+	Key     string           // single-point identity
+	Count   int              // dynamic instances aggregated
+	Benefit simtime.Duration // summed realized benefit of the instances
+	Problem graph.Problem
+}
+
+// StaticSequence is a problem sequence folded over the application's loop
+// structure: the same static run of problematic operations typically occurs
+// once per loop iteration, and the tool presents it as one numbered listing
+// whose benefit sums all dynamic instances (§5.1: the cumf_als sequence of
+// 23 operations executed ~5000 times).
+type StaticSequence struct {
+	Signature string
+	Entries   []SequenceEntry
+	Instances int              // dynamic occurrences of the sequence
+	Benefit   simtime.Duration // total over all instances (carry-forward rule)
+	Syncs     int              // problem-type counts over entries
+	Transfers int
+
+	nodes []*graph.Node // all member nodes across instances, chain order
+}
+
+func pointKey(n *graph.Node) string { return n.Func + "|" + n.Stack.Key() }
+
+func pointLabel(n *graph.Node) string {
+	leaf := n.Stack.Leaf()
+	if leaf.File == "" {
+		return n.Func
+	}
+	return fmt.Sprintf("%s in %s at line %d", n.Func, leaf.File, leaf.Line)
+}
+
+// StaticSequences folds the analysis' dynamic sequences by their signature
+// (the ordered list of program points) and evaluates each fold's combined
+// benefit with the carry-forward rule. Results are sorted by descending
+// benefit.
+func (a *Analysis) StaticSequences() []StaticSequence {
+	type fold struct {
+		seq       *StaticSequence
+		perPoint  map[string]int // point key -> index into seq.Entries
+		instances []graph.Group
+	}
+	folds := make(map[string]*fold)
+	var order []string
+
+	for _, dyn := range a.Sequences {
+		var sig strings.Builder
+		for _, n := range dyn.Nodes {
+			sig.WriteString(pointKey(n))
+			sig.WriteByte('\n')
+		}
+		key := sig.String()
+		f, ok := folds[key]
+		if !ok {
+			f = &fold{
+				seq:      &StaticSequence{Signature: key},
+				perPoint: make(map[string]int),
+			}
+			for _, n := range dyn.Nodes {
+				pk := pointKey(n)
+				if _, seen := f.perPoint[pk]; !seen {
+					f.seq.Entries = append(f.seq.Entries, SequenceEntry{
+						Index:   len(f.seq.Entries) + 1,
+						Label:   pointLabel(n),
+						Key:     pk,
+						Problem: n.Problem,
+					})
+					f.perPoint[pk] = len(f.seq.Entries) - 1
+				}
+			}
+			folds[key] = f
+			order = append(order, key)
+		}
+		f.instances = append(f.instances, dyn)
+	}
+
+	out := make([]StaticSequence, 0, len(folds))
+	for _, key := range order {
+		f := folds[key]
+		s := f.seq
+		s.Instances = len(f.instances)
+		for _, dyn := range f.instances {
+			s.nodes = append(s.nodes, dyn.Nodes...)
+		}
+		res := graph.SequenceBenefit(a.Graph, s.nodes, a.Opts.Graph)
+		s.Benefit = res.Total
+		for _, nb := range res.PerNode {
+			if idx, ok := f.perPoint[pointKey(nb.Node)]; ok {
+				s.Entries[idx].Count++
+				s.Entries[idx].Benefit += nb.Benefit
+			}
+		}
+		for _, e := range s.Entries {
+			if e.Problem == graph.UnnecessaryTransfer {
+				s.Transfers++
+			} else {
+				s.Syncs++
+			}
+		}
+		out = append(out, *s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Benefit > out[j].Benefit })
+	return out
+}
+
+// SubsequenceBenefit re-evaluates static entries [from, to] (1-based,
+// inclusive) of a static sequence across all its dynamic instances — the
+// §5.1 subsequence feature (Figure 8) — with no further data collection.
+func (a *Analysis) SubsequenceBenefit(s StaticSequence, from, to int) (StaticSequence, error) {
+	if from < 1 || to > len(s.Entries) || from > to {
+		return StaticSequence{}, fmt.Errorf("ffm: subsequence [%d,%d] out of range 1..%d", from, to, len(s.Entries))
+	}
+	wanted := make(map[string]bool)
+	for _, e := range s.Entries[from-1 : to] {
+		wanted[e.Key] = true
+	}
+	var members []*graph.Node
+	for _, n := range s.nodes {
+		if wanted[pointKey(n)] {
+			members = append(members, n)
+		}
+	}
+	res := graph.SequenceBenefit(a.Graph, members, a.Opts.Graph)
+	sub := StaticSequence{
+		Signature: fmt.Sprintf("%s[%d:%d]", s.Signature, from, to),
+		Entries:   append([]SequenceEntry(nil), s.Entries[from-1:to]...),
+		Instances: s.Instances,
+		Benefit:   res.Total,
+		nodes:     members,
+	}
+	for _, e := range sub.Entries {
+		if e.Problem == graph.UnnecessaryTransfer {
+			sub.Transfers++
+		} else {
+			sub.Syncs++
+		}
+	}
+	return sub, nil
+}

@@ -1,0 +1,184 @@
+package ffm
+
+import (
+	"testing"
+
+	"diogenes/internal/callstack"
+	"diogenes/internal/simtime"
+	"diogenes/internal/trace"
+)
+
+// loopedRun builds a trace of `iters` identical iterations, each containing
+// two problematic frees at fixed lines, one duplicate transfer, and a
+// terminating necessary synchronization.
+func loopedRun(iters int) *trace.Run {
+	run := &trace.Run{App: "loop", Stage: 4}
+	var at simtime.Time
+	seq := int64(0)
+	stack := func(fn string, line int) callstack.Trace {
+		return callstack.Trace{
+			{Function: fn, File: "loop.cpp", Line: line},
+			{Function: "main", File: "main.cpp", Line: 5},
+		}
+	}
+	add := func(fn string, class trace.OpClass, line int, dur simtime.Duration, dup bool, accessed bool) {
+		seq++
+		rec := trace.Record{
+			Seq: seq, Func: fn, Class: class,
+			Entry: at, Exit: at.Add(dur), SyncWait: dur / 2, Scope: "implicit",
+			Stack: stack("step", line), Duplicate: dup, ProtectedAccess: accessed,
+		}
+		run.Records = append(run.Records, rec)
+		at = at.Add(dur)
+	}
+	gap := func(d simtime.Duration) { at = at.Add(d) }
+
+	for i := 0; i < iters; i++ {
+		add("cudaFree", trace.ClassSync, 10, simtime.Millisecond, false, false)
+		gap(500 * simtime.Microsecond)
+		add("cudaMemcpy", trace.ClassTransfer, 12, simtime.Millisecond, i > 0, false)
+		gap(500 * simtime.Microsecond)
+		add("cudaFree", trace.ClassSync, 14, simtime.Millisecond, false, false)
+		gap(500 * simtime.Microsecond)
+		// Necessary sync terminates the iteration's sequence.
+		add("cudaMemcpy", trace.ClassSync, 20, simtime.Millisecond, false, true)
+		gap(2 * simtime.Millisecond)
+	}
+	run.ExecTime = simtime.Duration(at)
+	return run
+}
+
+func analysisFor(run *trace.Run) *Analysis {
+	return Analyze(run, DefaultAnalysisOptions())
+}
+
+func TestStaticSequencesFoldIterations(t *testing.T) {
+	a := analysisFor(loopedRun(10))
+	seqs := a.StaticSequences()
+	// All ten iterations share one static signature (iteration 1's memcpy
+	// is flagged as an unnecessary sync rather than a duplicate, but the
+	// program points are identical), so they fold into a single listing.
+	if len(seqs) != 1 {
+		t.Fatalf("static sequences = %d, want 1", len(seqs))
+	}
+	top := seqs[0]
+	if top.Instances != 10 {
+		t.Fatalf("top instances = %d, want 10", top.Instances)
+	}
+	if len(top.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3 static points", len(top.Entries))
+	}
+	if top.Syncs+top.Transfers != 3 {
+		t.Fatalf("counts = %d sync / %d transfer", top.Syncs, top.Transfers)
+	}
+	for i, e := range top.Entries {
+		if e.Index != i+1 {
+			t.Fatalf("entry %d index = %d", i, e.Index)
+		}
+		if e.Count != 10 {
+			t.Fatalf("entry %q count = %d, want 10", e.Label, e.Count)
+		}
+	}
+	if top.Entries[0].Label != "cudaFree in loop.cpp at line 10" {
+		t.Fatalf("entry 1 label = %q", top.Entries[0].Label)
+	}
+	if top.Benefit <= 0 {
+		t.Fatal("no benefit")
+	}
+}
+
+func TestStaticSequenceBenefitScalesWithInstances(t *testing.T) {
+	small := analysisFor(loopedRun(4)).StaticSequences()
+	big := analysisFor(loopedRun(8)).StaticSequences()
+	if len(small) == 0 || len(big) == 0 {
+		t.Fatal("missing sequences")
+	}
+	if big[0].Benefit <= small[0].Benefit {
+		t.Fatalf("benefit did not grow with instances: %v vs %v",
+			big[0].Benefit, small[0].Benefit)
+	}
+}
+
+func TestSubsequenceBenefitStatic(t *testing.T) {
+	a := analysisFor(loopedRun(10))
+	top := a.StaticSequences()[0]
+	sub, err := a.SubsequenceBenefit(top, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Entries) != 2 {
+		t.Fatalf("sub entries = %d", len(sub.Entries))
+	}
+	if sub.Benefit <= 0 || sub.Benefit > top.Benefit {
+		t.Fatalf("sub benefit %v vs full %v", sub.Benefit, top.Benefit)
+	}
+	if sub.Instances != top.Instances {
+		t.Fatal("subsequence lost instance count")
+	}
+	if sub.Syncs != 1 || sub.Transfers != 1 {
+		t.Fatalf("sub counts = %d/%d", sub.Syncs, sub.Transfers)
+	}
+	// Range validation.
+	if _, err := a.SubsequenceBenefit(top, 0, 2); err == nil {
+		t.Fatal("from=0 accepted")
+	}
+	if _, err := a.SubsequenceBenefit(top, 3, 2); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := a.SubsequenceBenefit(top, 1, 99); err == nil {
+		t.Fatal("past-end accepted")
+	}
+}
+
+func TestAPIFolds(t *testing.T) {
+	a := analysisFor(loopedRun(6))
+	folds := a.APIFolds()
+	if len(folds) == 0 {
+		t.Fatal("no folds")
+	}
+	byFunc := map[string]APIFold{}
+	for i, f := range folds {
+		byFunc[f.Func] = f
+		if i > 0 && f.Benefit > folds[i-1].Benefit {
+			t.Fatal("folds not sorted")
+		}
+	}
+	free, ok := byFunc["cudaFree"]
+	if !ok {
+		t.Fatal("no cudaFree fold")
+	}
+	if len(free.Children) != 1 {
+		t.Fatalf("cudaFree children = %d, want 1 (all from 'step')", len(free.Children))
+	}
+	if free.Children[0].Base != "step" || free.Children[0].Count != 12 {
+		t.Fatalf("child = %+v", free.Children[0])
+	}
+	if free.Percent <= 0 {
+		t.Fatal("fold percent missing")
+	}
+}
+
+func TestAPIFoldsMergeTemplateInstantiations(t *testing.T) {
+	run := &trace.Run{App: "tmpl", ExecTime: 100 * simtime.Millisecond}
+	var at simtime.Time
+	for i, fn := range []string{"storage<float>::drop", "storage<double>::drop"} {
+		rec := trace.Record{
+			Seq: int64(i + 1), Func: "cudaFree", Class: trace.ClassSync,
+			Entry: at, Exit: at.Add(simtime.Millisecond), SyncWait: simtime.Millisecond,
+			Stack: callstack.Trace{{Function: fn, File: "s.h", Line: 5}},
+		}
+		run.Records = append(run.Records, rec)
+		at = at.Add(2 * simtime.Millisecond)
+	}
+	a := analysisFor(run)
+	folds := a.APIFolds()
+	if len(folds) != 1 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	if len(folds[0].Children) != 1 {
+		t.Fatalf("template instantiations not merged: %+v", folds[0].Children)
+	}
+	if folds[0].Children[0].Base != "storage::drop" || folds[0].Children[0].Count != 2 {
+		t.Fatalf("child = %+v", folds[0].Children[0])
+	}
+}

@@ -1,0 +1,133 @@
+package ffm
+
+// §5.3: "Diogenes has a limited ability to analyze applications using
+// CUDA's unified memory. ... the transfer of data between CPU and GPU
+// physical memory still takes place but is automatically performed by the
+// GPU device driver. ... the presence of a problematic transfer would be
+// hidden." These tests pin that limitation down: an application that would
+// produce duplicate-transfer findings with explicit copies produces none
+// when the same data flows through managed memory — while the *indirect*
+// detection route the paper used on AMG (the conditional synchronization of
+// cudaMemset on a unified address) still works.
+
+import (
+	"testing"
+
+	"diogenes/internal/cuda"
+	"diogenes/internal/ffm/graph"
+	"diogenes/internal/gpu"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// unifiedApp pushes identical content to the device every iteration. With
+// explicit=true it uses cudaMemcpy (interceptable); otherwise it writes the
+// managed region directly and lets the driver migrate (invisible).
+type unifiedApp struct {
+	iters    int
+	explicit bool
+}
+
+func (a *unifiedApp) Name() string { return "unified" }
+
+func (a *unifiedApp) Run(p *proc.Process) error {
+	const n = 16 << 10
+	payload := make([]byte, n)
+	simtime.NewRNG(5).Bytes(payload)
+
+	var devBuf *gpu.DevBuf
+	staging := p.Host.Alloc(n, "staging")
+	if err := p.Host.Poke(staging.Base(), payload); err != nil {
+		return err
+	}
+	managed, err := p.Ctx.MallocManaged(n, "unified buffer")
+	if err != nil {
+		return err
+	}
+	if a.explicit {
+		if devBuf, err = p.Ctx.Malloc(n, "explicit dev buffer"); err != nil {
+			return err
+		}
+	}
+
+	var runErr error
+	for i := 0; i < a.iters && runErr == nil; i++ {
+		p.In("push", "unified.cpp", 20, func() {
+			if a.explicit {
+				// Interceptable path: same bytes every iteration.
+				p.At(22)
+				if runErr = p.Ctx.MemcpyH2D(devBuf.Base(), staging.Base(), n); runErr != nil {
+					return
+				}
+			} else {
+				// Unified path: the CPU stores into the managed region and
+				// the driver migrates pages under the covers — no driver
+				// call for the tool to intercept, hash, or deduplicate.
+				p.At(26)
+				if runErr = p.Write(managed.Base(), payload, 26); runErr != nil {
+					return
+				}
+			}
+			p.At(30)
+			if _, e := p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name: "consume", Duration: simtime.Millisecond, Stream: gpu.LegacyStream,
+			}); e != nil {
+				runErr = e
+				return
+			}
+			// Zero the accumulator on the unified address: the AMG-style
+			// conditional synchronization that remains detectable.
+			p.At(33)
+			if runErr = p.Ctx.MemsetManaged(managed.Base(), 0, n); runErr != nil {
+				return
+			}
+			// Refill it for the next round (post-memset content).
+			if runErr = p.Host.Poke(managed.Base(), payload); runErr != nil {
+				return
+			}
+			p.CPUWork(400 * simtime.Microsecond)
+		})
+	}
+	return runErr
+}
+
+func runUnified(t *testing.T, explicit bool) *Report {
+	t.Helper()
+	rep, err := Run(&unifiedApp{iters: 6, explicit: explicit}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestExplicitTransfersAreDeduplicated(t *testing.T) {
+	rep := runUnified(t, true)
+	if rep.Analysis.ProblemCounts()[graph.UnnecessaryTransfer] < 5 {
+		t.Fatalf("explicit path found %d duplicate transfers, want >=5 (iterations 2-6)",
+			rep.Analysis.ProblemCounts()[graph.UnnecessaryTransfer])
+	}
+}
+
+// TestUnifiedMemoryHidesDuplicateTransfers is the §5.3 limitation: the same
+// repeated content, moved by driver-managed migration, yields zero
+// duplicate-transfer findings.
+func TestUnifiedMemoryHidesDuplicateTransfers(t *testing.T) {
+	rep := runUnified(t, false)
+	if got := rep.Analysis.ProblemCounts()[graph.UnnecessaryTransfer]; got != 0 {
+		t.Fatalf("unified path produced %d duplicate-transfer findings; the"+
+			" limitation should hide them all", got)
+	}
+}
+
+// TestUnifiedMemoryIndirectDetection mirrors the AMG case: the conditional
+// synchronization performed by cudaMemset on the unified address is still
+// observed and scored, so unified-memory problems surface indirectly.
+func TestUnifiedMemoryIndirectDetection(t *testing.T) {
+	rep := runUnified(t, false)
+	for _, s := range rep.Analysis.SavingsByFunc() {
+		if s.Func == "cudaMemset" && s.Savings > 0 {
+			return
+		}
+	}
+	t.Fatal("no cudaMemset finding on the unified path")
+}

@@ -1,0 +1,162 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DevPtr is an address in device memory. The device and host address spaces
+// are disjoint; DevPtr 0 is the null device pointer.
+type DevPtr uint64
+
+// ErrOutOfMemory is returned when an allocation exceeds device capacity.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// ErrBadDevPtr is returned for accesses to unallocated or freed device
+// memory.
+var ErrBadDevPtr = errors.New("gpu: invalid device pointer")
+
+// DevBuf is an allocation in device memory.
+type DevBuf struct {
+	base  DevPtr
+	size  int
+	data  []byte
+	freed bool
+	label string
+}
+
+// Base returns the buffer's device address.
+func (b *DevBuf) Base() DevPtr { return b.base }
+
+// Size returns the buffer length in bytes.
+func (b *DevBuf) Size() int { return b.size }
+
+// Label returns the allocation label.
+func (b *DevBuf) Label() string { return b.label }
+
+// End returns one past the buffer's last address.
+func (b *DevBuf) End() DevPtr { return b.base + DevPtr(b.size) }
+
+// Freed reports whether the buffer has been released.
+func (b *DevBuf) Freed() bool { return b.freed }
+
+type devAllocator struct {
+	capacity int64
+	live     int64
+	peak     int64
+	next     DevPtr
+	bufs     []*DevBuf // sorted by base
+	allocs   int64
+	frees    int64
+}
+
+func newDevAllocator(capacity int64) *devAllocator {
+	return &devAllocator{capacity: capacity, next: 4096}
+}
+
+// Malloc allocates n bytes of device memory.
+func (d *Device) Malloc(n int, label string) (*DevBuf, error) {
+	a := d.mem
+	if n <= 0 {
+		return nil, fmt.Errorf("gpu: Malloc size %d", n)
+	}
+	if a.live+int64(n) > a.capacity {
+		return nil, fmt.Errorf("%w: need %d, %d live of %d", ErrOutOfMemory, n, a.live, a.capacity)
+	}
+	b := &DevBuf{base: a.next, size: n, data: make([]byte, n), label: label}
+	a.next += DevPtr(n)
+	// Keep 256-byte alignment like cudaMalloc.
+	a.next = (a.next + 255) / 256 * 256
+	a.live += int64(n)
+	if a.live > a.peak {
+		a.peak = a.live
+	}
+	a.bufs = append(a.bufs, b)
+	a.allocs++
+	return b, nil
+}
+
+// FreeBuf releases a device allocation.
+func (d *Device) FreeBuf(b *DevBuf) error {
+	if b.freed {
+		return fmt.Errorf("%w: double free of %q", ErrBadDevPtr, b.label)
+	}
+	b.freed = true
+	b.data = nil
+	d.mem.live -= int64(b.size)
+	d.mem.frees++
+	return nil
+}
+
+// BufAt returns the live buffer containing ptr, or nil.
+func (d *Device) BufAt(ptr DevPtr) *DevBuf {
+	a := d.mem
+	i := sort.Search(len(a.bufs), func(i int) bool { return a.bufs[i].End() > ptr })
+	if i < len(a.bufs) && ptr >= a.bufs[i].base && !a.bufs[i].freed {
+		return a.bufs[i]
+	}
+	return nil
+}
+
+// DevWrite stores p at device address ptr (the landing side of an H2D copy
+// or a kernel's output).
+func (d *Device) DevWrite(ptr DevPtr, p []byte) error {
+	b := d.BufAt(ptr)
+	if b == nil {
+		return fmt.Errorf("%w: write %#x", ErrBadDevPtr, ptr)
+	}
+	if ptr+DevPtr(len(p)) > b.End() {
+		return fmt.Errorf("%w: write past end of %q", ErrBadDevPtr, b.label)
+	}
+	copy(b.data[int(ptr-b.base):], p)
+	return nil
+}
+
+// DevRead loads n bytes from device address ptr.
+func (d *Device) DevRead(ptr DevPtr, n int) ([]byte, error) {
+	b := d.BufAt(ptr)
+	if b == nil {
+		return nil, fmt.Errorf("%w: read %#x", ErrBadDevPtr, ptr)
+	}
+	if ptr+DevPtr(n) > b.End() {
+		return nil, fmt.Errorf("%w: read past end of %q", ErrBadDevPtr, b.label)
+	}
+	out := make([]byte, n)
+	copy(out, b.data[int(ptr-b.base):])
+	return out, nil
+}
+
+// DevFill sets n bytes at ptr to value v (memset landing).
+func (d *Device) DevFill(ptr DevPtr, v byte, n int) error {
+	b := d.BufAt(ptr)
+	if b == nil {
+		return fmt.Errorf("%w: fill %#x", ErrBadDevPtr, ptr)
+	}
+	if ptr+DevPtr(n) > b.End() {
+		return fmt.Errorf("%w: fill past end of %q", ErrBadDevPtr, b.label)
+	}
+	off := int(ptr - b.base)
+	for i := 0; i < n; i++ {
+		b.data[off+i] = v
+	}
+	return nil
+}
+
+// MemStats reports allocator activity.
+type MemStats struct {
+	LiveBytes int64
+	PeakBytes int64
+	Allocs    int64
+	Frees     int64
+}
+
+// MemStats returns current device-memory statistics.
+func (d *Device) MemStats() MemStats {
+	return MemStats{
+		LiveBytes: d.mem.live,
+		PeakBytes: d.mem.peak,
+		Allocs:    d.mem.allocs,
+		Frees:     d.mem.frees,
+	}
+}

@@ -1,0 +1,79 @@
+// Package hashstore implements the content-based data-deduplication store
+// used by stage 3 (§3.3.2): every transfer payload is hashed; a hash that
+// was seen before marks the transfer as a duplicate, and the store remembers
+// where the data was first transferred.
+package hashstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Key is a content hash of a transfer payload.
+type Key [sha256.Size]byte
+
+// Hash computes the content key of a payload.
+func Hash(p []byte) Key { return sha256.Sum256(p) }
+
+// String returns the abbreviated hex form used in reports.
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// Hex returns the full hex digest.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// Entry records the first sighting of a payload.
+type Entry struct {
+	FirstSeq int64 // sequence number of the first transfer of this content
+	Bytes    int   // payload size
+	Count    int   // total transfers with this content, including the first
+}
+
+// Store maps content hashes to their first transfer. The zero value is not
+// usable; call New.
+type Store struct {
+	entries map[Key]*Entry
+	// stats
+	inserts    int64
+	duplicates int64
+	dupBytes   int64
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{entries: make(map[Key]*Entry)} }
+
+// Insert records a transfer of payload p occurring at sequence seq. It
+// returns whether the content is a duplicate and, if so, the sequence of the
+// first transfer that carried it.
+func (s *Store) Insert(p []byte, seq int64) (dup bool, firstSeq int64, key Key) {
+	key = Hash(p)
+	s.inserts++
+	if e, ok := s.entries[key]; ok {
+		e.Count++
+		s.duplicates++
+		s.dupBytes += int64(len(p))
+		return true, e.FirstSeq, key
+	}
+	s.entries[key] = &Entry{FirstSeq: seq, Bytes: len(p), Count: 1}
+	return false, seq, key
+}
+
+// Lookup returns the entry for a content key, if any.
+func (s *Store) Lookup(k Key) (Entry, bool) {
+	e, ok := s.entries[k]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Len returns the number of distinct payloads seen.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Inserts returns the total number of Insert calls.
+func (s *Store) Inserts() int64 { return s.inserts }
+
+// Duplicates returns the number of duplicate transfers detected.
+func (s *Store) Duplicates() int64 { return s.duplicates }
+
+// DuplicateBytes returns the total bytes carried by duplicate transfers.
+func (s *Store) DuplicateBytes() int64 { return s.dupBytes }

@@ -1,0 +1,104 @@
+package hashstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstInsertNotDuplicate(t *testing.T) {
+	s := New()
+	dup, first, _ := s.Insert([]byte("payload"), 10)
+	if dup {
+		t.Fatal("first insert reported duplicate")
+	}
+	if first != 10 {
+		t.Fatalf("firstSeq = %d, want 10", first)
+	}
+	if s.Len() != 1 || s.Inserts() != 1 || s.Duplicates() != 0 {
+		t.Fatalf("stats: len=%d inserts=%d dups=%d", s.Len(), s.Inserts(), s.Duplicates())
+	}
+}
+
+func TestDuplicateDetection(t *testing.T) {
+	s := New()
+	s.Insert([]byte("same bytes"), 1)
+	dup, first, key := s.Insert([]byte("same bytes"), 5)
+	if !dup {
+		t.Fatal("identical payload not flagged")
+	}
+	if first != 1 {
+		t.Fatalf("firstSeq = %d, want 1", first)
+	}
+	e, ok := s.Lookup(key)
+	if !ok || e.Count != 2 || e.FirstSeq != 1 || e.Bytes != len("same bytes") {
+		t.Fatalf("entry = %+v ok=%v", e, ok)
+	}
+	if s.Duplicates() != 1 || s.DuplicateBytes() != int64(len("same bytes")) {
+		t.Fatalf("dup stats: %d / %d", s.Duplicates(), s.DuplicateBytes())
+	}
+}
+
+func TestDistinctPayloadsDistinctKeys(t *testing.T) {
+	s := New()
+	_, _, k1 := s.Insert([]byte("aaaa"), 1)
+	dup, _, k2 := s.Insert([]byte("aaab"), 2)
+	if dup {
+		t.Fatal("different payload flagged duplicate")
+	}
+	if k1 == k2 {
+		t.Fatal("hash collision on trivially different inputs")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	s := New()
+	if _, ok := s.Lookup(Hash([]byte("never inserted"))); ok {
+		t.Fatal("Lookup found phantom entry")
+	}
+}
+
+func TestKeyStrings(t *testing.T) {
+	k := Hash([]byte("x"))
+	if len(k.String()) != 16 {
+		t.Fatalf("short form %q not 16 hex chars", k.String())
+	}
+	if len(k.Hex()) != 64 {
+		t.Fatalf("full form %q not 64 hex chars", k.Hex())
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	s := New()
+	dup1, _, _ := s.Insert(nil, 1)
+	dup2, first, _ := s.Insert([]byte{}, 2)
+	if dup1 {
+		t.Fatal("first empty payload flagged duplicate")
+	}
+	if !dup2 || first != 1 {
+		t.Fatal("empty payloads should hash identically")
+	}
+}
+
+func TestQuickHashDeterministic(t *testing.T) {
+	f := func(p []byte) bool { return Hash(p) == Hash(append([]byte(nil), p...)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDuplicateCountConsistent(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		s := New()
+		for i, p := range payloads {
+			s.Insert(p, int64(i))
+		}
+		return s.Inserts() == int64(len(payloads)) &&
+			s.Duplicates() == s.Inserts()-int64(s.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

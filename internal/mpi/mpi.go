@@ -1,0 +1,172 @@
+// Package mpi simulates a deterministic multi-rank (MPI-style) launch.
+//
+// AMG, one of the paper's four applications, is "an MPI based parallel
+// algebraic multigrid solver", and the Ray testbed is a cluster; tools like
+// Diogenes instrument each rank's process independently (the prototype is
+// launched like hpcprof/nvprof, per process). This package models the
+// bulk-synchronous structure such solvers have: every rank executes the
+// same supersteps against its own simulated process, and a collective
+// (barrier/allreduce) at each superstep boundary advances all ranks to the
+// latest rank's time plus the collective's latency.
+//
+// The adapter returned by App lets FFM instrument one observed rank while
+// the other ranks run alongside in background processes: collective skew
+// shows up on the observed rank as gaps before its next driver call,
+// exactly as MPI wait time would.
+package mpi
+
+import (
+	"fmt"
+
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// RankState is per-rank application state created by Setup.
+type RankState any
+
+// RankProgram is a bulk-synchronous multi-rank application.
+type RankProgram interface {
+	Name() string
+	// Steps is the number of supersteps (collective-delimited phases).
+	Steps() int
+	// Setup allocates the rank's state against its process.
+	Setup(p *proc.Process, rank int) (RankState, error)
+	// Step executes one superstep on one rank. Calls must be deterministic
+	// per (rank, step).
+	Step(p *proc.Process, rank int, st RankState, step int) error
+}
+
+// Config describes the launch.
+type Config struct {
+	// Ranks is the world size.
+	Ranks int
+	// BarrierLatency is the collective's cost once all ranks arrive.
+	BarrierLatency simtime.Duration
+	// Factory builds each rank's process.
+	Factory proc.Factory
+}
+
+// DefaultConfig returns a 4-rank world (one rank per GPU of a Ray node).
+func DefaultConfig() Config {
+	return Config{
+		Ranks:          4,
+		BarrierLatency: 25 * simtime.Microsecond,
+		Factory:        proc.DefaultFactory(),
+	}
+}
+
+// World is one running multi-rank launch.
+type World struct {
+	cfg    Config
+	procs  []*proc.Process
+	states []RankState
+	prog   RankProgram
+	// barriers counts executed collectives.
+	barriers int
+}
+
+// NewWorld sets up all ranks. The caller may supply a pre-built process for
+// one observed rank (used by the FFM adapter); pass nil observedProc to
+// build every rank from the factory.
+func NewWorld(prog RankProgram, cfg Config, observed int, observedProc *proc.Process) (*World, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("mpi: world size %d", cfg.Ranks)
+	}
+	if observed < 0 || observed >= cfg.Ranks {
+		return nil, fmt.Errorf("mpi: observed rank %d of %d", observed, cfg.Ranks)
+	}
+	w := &World{cfg: cfg, prog: prog}
+	w.procs = make([]*proc.Process, cfg.Ranks)
+	w.states = make([]RankState, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		if r == observed && observedProc != nil {
+			w.procs[r] = observedProc
+		} else {
+			w.procs[r] = cfg.Factory.New()
+		}
+		st, err := prog.Setup(w.procs[r], r)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d setup: %w", r, err)
+		}
+		w.states[r] = st
+	}
+	return w, nil
+}
+
+// Rank returns rank r's process.
+func (w *World) Rank(r int) *proc.Process { return w.procs[r] }
+
+// Barriers returns the number of collectives executed.
+func (w *World) Barriers() int { return w.barriers }
+
+// Barrier advances every rank to the latest rank's time plus the collective
+// latency — the lockstep synchronization of a bulk-synchronous solver.
+func (w *World) Barrier() {
+	var latest simtime.Time
+	for _, p := range w.procs {
+		if p.Clock.Now() > latest {
+			latest = p.Clock.Now()
+		}
+	}
+	target := latest.Add(w.cfg.BarrierLatency)
+	for _, p := range w.procs {
+		p.Clock.AdvanceTo(target)
+	}
+	w.barriers++
+}
+
+// Run executes all supersteps with a collective after each.
+func (w *World) Run() error {
+	for step := 0; step < w.prog.Steps(); step++ {
+		for r := 0; r < w.cfg.Ranks; r++ {
+			if err := proc.SafeRun(rankStepApp{w, r, step}, w.procs[r]); err != nil {
+				return fmt.Errorf("mpi: rank %d step %d: %w", r, step, err)
+			}
+		}
+		w.Barrier()
+	}
+	return nil
+}
+
+// rankStepApp adapts one (rank, step) execution to proc.App so SafeRun's
+// deadlock recovery applies per step.
+type rankStepApp struct {
+	w    *World
+	rank int
+	step int
+}
+
+func (a rankStepApp) Name() string {
+	return fmt.Sprintf("%s[rank %d, step %d]", a.w.prog.Name(), a.rank, a.step)
+}
+
+func (a rankStepApp) Run(p *proc.Process) error {
+	return a.w.prog.Step(p, a.rank, a.w.states[a.rank], a.step)
+}
+
+// App adapts a multi-rank program to a single-process proc.App from the
+// point of view of rank `observed`: running the returned app simulates the
+// whole world, with the observed rank living in the app's process. This is
+// what FFM instruments — one process of the MPI job, like the real tool.
+func App(prog RankProgram, cfg Config, observed int) proc.App {
+	return &worldApp{prog: prog, cfg: cfg, observed: observed}
+}
+
+type worldApp struct {
+	prog     RankProgram
+	cfg      Config
+	observed int
+}
+
+func (a *worldApp) Name() string {
+	return fmt.Sprintf("%s@rank%d/%d", a.prog.Name(), a.observed, a.cfg.Ranks)
+}
+
+func (a *worldApp) Run(p *proc.Process) error {
+	w, err := NewWorld(a.prog, a.cfg, a.observed, p)
+	if err != nil {
+		return err
+	}
+	return w.Run()
+}

@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"diogenes/internal/cuda"
+	"diogenes/internal/ffm"
+	"diogenes/internal/gpu"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// skewedSolver is a BSP program where rank 0 does the least work per
+// superstep and higher ranks progressively more; every rank frees a scratch
+// buffer mid-step while its kernel runs (the problematic pattern).
+type skewedSolver struct{ steps int }
+
+type solverState struct {
+	out *gpu.DevBuf
+}
+
+func (s *skewedSolver) Name() string { return "skewed-solver" }
+func (s *skewedSolver) Steps() int   { return s.steps }
+
+func (s *skewedSolver) Setup(p *proc.Process, rank int) (RankState, error) {
+	buf, err := p.Ctx.Malloc(4096, "rank out")
+	if err != nil {
+		return nil, err
+	}
+	return &solverState{out: buf}, nil
+}
+
+func (s *skewedSolver) Step(p *proc.Process, rank int, st RankState, step int) error {
+	state := st.(*solverState)
+	var err error
+	p.In("superstep", "solver.c", 200, func() {
+		scratch, e := p.Ctx.Malloc(4096, "scratch")
+		if e != nil {
+			err = e
+			return
+		}
+		kernel := simtime.Duration(1+rank) * simtime.Millisecond
+		if _, e := p.Ctx.LaunchKernel(cuda.KernelSpec{
+			Name: "sweep", Duration: kernel, Stream: gpu.LegacyStream,
+			Writes: []cuda.KernelWrite{{Ptr: state.out.Base(), Size: 64, Seed: uint64(rank*1000 + step)}},
+		}); e != nil {
+			err = e
+			return
+		}
+		p.CPUWork(200 * simtime.Microsecond)
+		p.At(205)
+		if e := p.Ctx.Free(scratch); e != nil {
+			err = e
+			return
+		}
+		p.CPUWork(simtime.Duration(1+rank) * 100 * simtime.Microsecond)
+	})
+	return err
+}
+
+func TestWorldBarrierSynchronizesClocks(t *testing.T) {
+	w, err := NewWorld(&skewedSolver{steps: 3}, Config{
+		Ranks: 3, BarrierLatency: 50 * simtime.Microsecond, Factory: proc.DefaultFactory(),
+	}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Barriers() != 3 {
+		t.Fatalf("barriers = %d, want 3", w.Barriers())
+	}
+	// After the final barrier all ranks share one time.
+	t0 := w.Rank(0).Clock.Now()
+	for r := 1; r < 3; r++ {
+		if w.Rank(r).Clock.Now() != t0 {
+			t.Fatalf("rank %d at %v, rank 0 at %v", r, w.Rank(r).Clock.Now(), t0)
+		}
+	}
+}
+
+func TestSlowestRankSetsThePace(t *testing.T) {
+	// Rank 0 alone finishes much faster than rank 0 inside a world with a
+	// slow rank 2: the collective drags it to the laggard's pace.
+	solo := proc.DefaultFactory().New()
+	app1 := App(&skewedSolver{steps: 4}, Config{Ranks: 1, BarrierLatency: 50 * simtime.Microsecond, Factory: proc.DefaultFactory()}, 0)
+	if err := app1.Run(solo); err != nil {
+		t.Fatal(err)
+	}
+	inWorld := proc.DefaultFactory().New()
+	app3 := App(&skewedSolver{steps: 4}, Config{Ranks: 3, BarrierLatency: 50 * simtime.Microsecond, Factory: proc.DefaultFactory()}, 0)
+	if err := app3.Run(inWorld); err != nil {
+		t.Fatal(err)
+	}
+	if inWorld.ExecTime() <= solo.ExecTime() {
+		t.Fatalf("world run %v not slower than solo %v", inWorld.ExecTime(), solo.ExecTime())
+	}
+}
+
+func TestFFMInstrumentsObservedRank(t *testing.T) {
+	cfg := Config{Ranks: 3, BarrierLatency: 50 * simtime.Microsecond, Factory: proc.DefaultFactory()}
+	app := App(&skewedSolver{steps: 5}, cfg, 0)
+	rep, err := ffm.Run(app, ffm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	savings := rep.Analysis.SavingsByFunc()
+	if len(savings) == 0 || savings[0].Func != "cudaFree" {
+		t.Fatalf("top finding = %+v", savings)
+	}
+	// Only the observed rank's calls are recorded: 1 free per step.
+	frees := 0
+	for _, rec := range rep.Trace.Records {
+		if rec.Func == "cudaFree" {
+			frees++
+		}
+	}
+	if frees != 5 {
+		t.Fatalf("observed-rank frees = %d, want 5 (not %d across the world)", frees, 5*3)
+	}
+}
+
+func TestFFMDeterministicAcrossRanks(t *testing.T) {
+	cfg := Config{Ranks: 2, BarrierLatency: 50 * simtime.Microsecond, Factory: proc.DefaultFactory()}
+	for rank := 0; rank < 2; rank++ {
+		a, err := ffm.Run(App(&skewedSolver{steps: 3}, cfg, rank), ffm.DefaultConfig())
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		b, err := ffm.Run(App(&skewedSolver{steps: 3}, cfg, rank), ffm.DefaultConfig())
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		if a.Analysis.TotalBenefit() != b.Analysis.TotalBenefit() {
+			t.Fatalf("rank %d: nondeterministic analysis", rank)
+		}
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: 0, Factory: proc.DefaultFactory()}, 0, nil); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: 2, Factory: proc.DefaultFactory()}, 5, nil); err == nil {
+		t.Fatal("out-of-range observed rank accepted")
+	}
+}
+
+func TestWorldAppName(t *testing.T) {
+	app := App(&skewedSolver{steps: 1}, DefaultConfig(), 2)
+	if !strings.Contains(app.Name(), "rank2/4") {
+		t.Fatalf("name = %q", app.Name())
+	}
+}

@@ -1,0 +1,171 @@
+package profiler
+
+import (
+	"errors"
+	"testing"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/cuda"
+	"diogenes/internal/gpu"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// syncHeavy is a minimal workload dominated by an implicit-sync cudaFree:
+// 1ms of kernel per iteration, waited out inside cudaFree.
+type syncHeavy struct{ iters int }
+
+func (a *syncHeavy) Name() string { return "sync-heavy" }
+
+func (a *syncHeavy) Run(p *proc.Process) error {
+	for i := 0; i < a.iters; i++ {
+		buf, err := p.Ctx.Malloc(1024, "tmp")
+		if err != nil {
+			return err
+		}
+		if _, err := p.Ctx.LaunchKernel(cuda.KernelSpec{
+			Name: "k", Duration: simtime.Millisecond, Stream: gpu.LegacyStream,
+		}); err != nil {
+			return err
+		}
+		if err := p.Ctx.Free(buf); err != nil {
+			return err
+		}
+		p.CPUWork(100 * simtime.Microsecond)
+	}
+	return nil
+}
+
+func TestNVProfAttributesWaitToCall(t *testing.T) {
+	prof, err := NVProf(&syncHeavy{iters: 20}, proc.DefaultFactory(), NVProfConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Tool != "nvprof" || prof.App != "sync-heavy" {
+		t.Fatalf("header = %+v", prof)
+	}
+	free, ok := prof.Row("cudaFree")
+	if !ok {
+		t.Fatal("no cudaFree row")
+	}
+	// The free waits ~1ms per iteration; NVProf reports it all as call
+	// time and ranks cudaFree first.
+	if free.Pos != 1 {
+		t.Fatalf("cudaFree pos = %d, want 1", free.Pos)
+	}
+	if free.Percent < 50 {
+		t.Fatalf("cudaFree percent = %.1f, want dominant", free.Percent)
+	}
+	if free.Calls != 20 {
+		t.Fatalf("cudaFree calls = %d", free.Calls)
+	}
+	if _, ok := prof.Row("cudaLaunchKernel"); !ok {
+		t.Fatal("launch row missing")
+	}
+}
+
+func TestNVProfRowsSortedWithPositions(t *testing.T) {
+	prof, err := NVProf(&syncHeavy{iters: 5}, proc.DefaultFactory(), NVProfConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range prof.Rows {
+		if r.Pos != i+1 {
+			t.Fatalf("row %d pos = %d", i, r.Pos)
+		}
+		if i > 0 && r.Time > prof.Rows[i-1].Time {
+			t.Fatal("rows not sorted by time")
+		}
+	}
+}
+
+func TestNVProfCrashOnCallVolume(t *testing.T) {
+	_, err := NVProf(&syncHeavy{iters: 100}, proc.DefaultFactory(), NVProfConfig{MaxDriverRecords: 50})
+	if !errors.Is(err, ErrProfilerCrash) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+}
+
+func TestNVProfNoCrashUnderLimit(t *testing.T) {
+	if _, err := NVProf(&syncHeavy{iters: 5}, proc.DefaultFactory(), NVProfConfig{MaxDriverRecords: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNVProfOverheadSlowsRun(t *testing.T) {
+	a, _ := NVProf(&syncHeavy{iters: 20}, proc.DefaultFactory(), NVProfConfig{})
+	b, _ := NVProf(&syncHeavy{iters: 20}, proc.DefaultFactory(), NVProfConfig{PerCallOverhead: 50 * simtime.Microsecond})
+	if b.ExecTime <= a.ExecTime {
+		t.Fatalf("profiling overhead missing: %v vs %v", b.ExecTime, a.ExecTime)
+	}
+}
+
+func TestHPCToolkitSamplesCalls(t *testing.T) {
+	prof, err := HPCToolkit(&syncHeavy{iters: 20}, proc.DefaultFactory(), HPCToolkitConfig{
+		SamplePeriod: 100 * simtime.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, ok := prof.Row("cudaFree")
+	if !ok {
+		t.Fatal("no cudaFree row")
+	}
+	if free.Pos != 1 {
+		t.Fatalf("cudaFree pos = %d", free.Pos)
+	}
+	// ~1ms per call at 100µs sampling: roughly 10 samples' worth.
+	perCall := free.Time / 20
+	if perCall < 800*simtime.Microsecond || perCall > 1200*simtime.Microsecond {
+		t.Fatalf("per-call attribution %v implausible", perCall)
+	}
+}
+
+func TestHPCToolkitAttributionLoss(t *testing.T) {
+	cfgFull := HPCToolkitConfig{SamplePeriod: 100 * simtime.Microsecond}
+	cfgLossy := HPCToolkitConfig{SamplePeriod: 100 * simtime.Microsecond, AttributionLoss: 0.5}
+	full, _ := HPCToolkit(&syncHeavy{iters: 20}, proc.DefaultFactory(), cfgFull)
+	lossy, _ := HPCToolkit(&syncHeavy{iters: 20}, proc.DefaultFactory(), cfgLossy)
+	f, _ := full.Row("cudaFree")
+	l, _ := lossy.Row("cudaFree")
+	ratio := float64(l.Time) / float64(f.Time)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("attribution loss ratio = %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestHPCToolkitMissesSubSampleCalls(t *testing.T) {
+	// Calls shorter than the sample period attribute nothing.
+	prof, err := HPCToolkit(&syncHeavy{iters: 5}, proc.DefaultFactory(), HPCToolkitConfig{
+		SamplePeriod: 10 * simtime.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range prof.Rows {
+		if r.Time != 0 {
+			t.Fatalf("row %s attributed %v with huge sample period", r.Func, r.Time)
+		}
+	}
+}
+
+func TestProfilersOnRealApps(t *testing.T) {
+	// Smoke coverage over the modelled applications.
+	for _, spec := range apps.Registry() {
+		app := spec.New(0.01, apps.Original)
+		factory := spec.Factory()
+		if _, err := NVProf(app, factory, NVProfConfig{}); err != nil {
+			t.Errorf("nvprof %s: %v", spec.Name, err)
+		}
+		if _, err := HPCToolkit(app, factory, DefaultHPCToolkitConfig()); err != nil {
+			t.Errorf("hpctoolkit %s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestRowLookupMissing(t *testing.T) {
+	p := &Profile{}
+	if _, ok := p.Row("cudaFree"); ok {
+		t.Fatal("found row in empty profile")
+	}
+}

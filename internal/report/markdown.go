@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"diogenes/internal/ffm"
+)
+
+// WriteMarkdown renders a complete findings document for one report —
+// overview, per-function savings, the top problem sequence, fold
+// expansions, overlap and collection-cost summaries — as shareable
+// Markdown. This is the report an engineer would attach to a performance
+// ticket.
+func WriteMarkdown(w io.Writer, rep *ffm.Report) error {
+	a := rep.Analysis
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	if _, err := fmt.Fprintf(w, "# Diogenes findings — %s\n\n", a.App); err != nil {
+		return err
+	}
+	p("Total expected benefit: **%s (%.2f%% of execution)** across %d problematic operations.\n\n",
+		seconds(a.TotalBenefit()), a.Percent(a.TotalBenefit()), len(a.Graph.ProblematicNodes()))
+
+	p("## Findings by API function\n\n")
+	p("| # | Function | Expected savings | %% of execution | Occurrences |\n")
+	p("|---|---|---|---|---|\n")
+	for _, s := range a.SavingsByFunc() {
+		p("| %d | `%s` | %s | %.2f%% | %d |\n", s.Pos, s.Func, seconds(s.Savings), s.Percent, s.Count)
+	}
+	p("\n")
+
+	if folds := a.APIFolds(); len(folds) > 0 {
+		p("## Fold expansion: `%s`\n\n", folds[0].Func)
+		p("| Calling function | Savings | %% | Sites |\n|---|---|---|---|\n")
+		for _, c := range folds[0].Children {
+			p("| `%s` | %s | %.2f%% | %d |\n", c.Caller, seconds(c.Benefit), c.Percent, c.Count)
+		}
+		p("\n")
+	}
+
+	if seqs := a.StaticSequences(); len(seqs) > 0 {
+		top := seqs[0]
+		p("## Top problem sequence\n\n")
+		p("Recoverable: **%s (%.2f%%)** over %d instances — %d sync issues, %d transfer issues.\n\n",
+			seconds(top.Benefit), a.Percent(top.Benefit), top.Instances, top.Syncs, top.Transfers)
+		for _, e := range top.Entries {
+			p("%d. %s\n", e.Index, e.Label)
+		}
+		p("\n")
+	}
+
+	st := rep.Overlap()
+	p("## CPU/GPU overlap\n\n")
+	p("- execution: %s\n- GPU busy: %s (%.1f%% utilization)\n- CPU blocked in synchronization: %s (%.1f%%)\n\n",
+		seconds(st.ExecTime), seconds(st.GPUBusy), 100*st.GPUUtilization,
+		seconds(st.CPUBlocked), 100*st.BlockedShare)
+
+	p("## Data collection cost\n\n")
+	p("| Stage | Run time |\n|---|---|\n")
+	p("| uninstrumented | %s |\n", seconds(rep.UninstrumentedTime))
+	p("| 1 — baseline | %s |\n", seconds(rep.Stage1Time))
+	p("| 2 — detailed tracing | %s |\n", seconds(rep.Stage2Time))
+	p("| 3 — memory tracing + hashing | %s |\n", seconds(rep.Stage3Time))
+	p("| 4 — sync-use analysis | %s |\n", seconds(rep.Stage4Time))
+	p("| **total** | **%s (%.1fx)** |\n", seconds(rep.CollectionCost()), rep.OverheadMultiple())
+	return nil
+}

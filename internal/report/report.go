@@ -1,0 +1,216 @@
+// Package report renders Diogenes' terminal displays: the overview list and
+// fold expansion of Figure 7, the sequence listing of Figure 6, the
+// subsequence estimate of Figure 8, and the evaluation tables of the paper
+// (§4: "Diogenes has a simple terminal-based command line interface to
+// explore data analyzed by FFM").
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"diogenes/internal/experiments"
+	"diogenes/internal/ffm"
+	"diogenes/internal/simtime"
+)
+
+func seconds(d simtime.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// Overview writes the Figure 7 left-hand display: API-function folds and
+// problem sequences sorted by recoverable time.
+func Overview(w io.Writer, a *ffm.Analysis) error {
+	if _, err := fmt.Fprintf(w, "Diogenes Overview Display — %s\n", a.App); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Time(s) (%% of execution time)\n\n")
+
+	type entry struct {
+		benefit simtime.Duration
+		label   string
+	}
+	var entries []entry
+	for _, f := range a.APIFolds() {
+		entries = append(entries, entry{f.Benefit, "Fold on " + f.Func})
+	}
+	for _, s := range a.StaticSequences() {
+		label := "Sequence starting at call ..."
+		if len(s.Entries) > 0 {
+			label = "Sequence starting at call " + s.Entries[0].Label
+		}
+		entries = append(entries, entry{s.Benefit, label})
+	}
+	// Insertion-sort by benefit, stable and tiny.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].benefit > entries[j-1].benefit; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	for _, e := range entries {
+		fmt.Fprintf(w, "%12s (%5.2f%%) %s\n", seconds(e.benefit), a.Percent(e.benefit), e.label)
+	}
+	fmt.Fprintf(w, "\nBack/Previous\nExit\n")
+	return nil
+}
+
+// ExpandFold writes the Figure 7 right-hand display: one API-function fold
+// broken down by calling template function.
+func ExpandFold(w io.Writer, a *ffm.Analysis, fold ffm.APIFold) error {
+	if _, err := fmt.Fprintf(w, "Expansion of Problem — Fold on %s\n", fold.Func); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%12s(%5.2f%%) Fold on %s\n", seconds(fold.Benefit), fold.Percent, fold.Func)
+	for _, c := range fold.Children {
+		fmt.Fprintf(w, "  %12s(%5.2f%%) %s\n", seconds(c.Benefit), c.Percent, c.Caller)
+		fmt.Fprintf(w, "      Conditionally unnecessary (see: conditions)\n")
+	}
+	return nil
+}
+
+// Sequence writes the Figure 6 display: the numbered listing of one problem
+// sequence with its recoverable-time header.
+func Sequence(w io.Writer, a *ffm.Analysis, s ffm.StaticSequence) error {
+	if _, err := fmt.Fprintf(w, "Time Recoverable: %s (%.2f%% of execution time)\n",
+		seconds(s.Benefit), a.Percent(s.Benefit)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Number of Sync Issues: %d Number of Transfer Issues: %d\n\n", s.Syncs, s.Transfers)
+	fmt.Fprintf(w, "Select start/ending subsequence to get refined estimate\n")
+	for _, e := range s.Entries {
+		fmt.Fprintf(w, "%d. %s\n", e.Index, e.Label)
+	}
+	return nil
+}
+
+// Subsequence writes the Figure 8 display: the refined estimate for a
+// subsequence of an existing sequence.
+func Subsequence(w io.Writer, a *ffm.Analysis, sub ffm.StaticSequence) error {
+	if _, err := fmt.Fprintf(w, "Time Recoverable In Subsequence: %s\n", seconds(sub.Benefit)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(%.2f%% of execution time)\n\n", a.Percent(sub.Benefit))
+	for _, e := range sub.Entries {
+		fmt.Fprintf(w, "%d. %s\n", e.Index, e.Label)
+	}
+	return nil
+}
+
+// Savings writes the per-API-function expected-savings summary (Diogenes'
+// column of Table 2).
+func Savings(w io.Writer, a *ffm.Analysis) error {
+	if _, err := fmt.Fprintf(w, "Diogenes Estimated Savings — %s\n", a.App); err != nil {
+		return err
+	}
+	for _, s := range a.SavingsByFunc() {
+		fmt.Fprintf(w, "%2d. %-28s %12s (%5.2f%%)\n", s.Pos, s.Func, seconds(s.Savings), s.Percent)
+	}
+	return nil
+}
+
+// Table1 writes the reproduction of Table 1.
+func Table1(w io.Writer, rows []experiments.Table1Row) error {
+	if _, err := fmt.Fprintf(w, "%-18s %-20s %22s %22s %9s %9s\n",
+		"Application", "Discovered Issues", "Estimated Benefit", "Actual Reduction", "Accuracy", "Overhead"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-20s %11s (%5.2f%%) %11s (%5.2f%%) %8.1f%% %8.1fx\n",
+			r.App, r.Issues,
+			seconds(r.Estimated), r.EstimatedPct,
+			seconds(r.Actual), r.ActualPct,
+			r.Accuracy, r.Overhead)
+		fmt.Fprintf(w, "%-18s %-20s %11s (%5.2f%%) %11s (%5.2f%%)\n",
+			"", "(paper)", "", r.PaperEstPct, "", r.PaperActPct)
+	}
+	return nil
+}
+
+// Table2 writes one application's section of Table 2.
+func Table2(w io.Writer, app string, rows []experiments.Table2Row) error {
+	if _, err := fmt.Fprintf(w, "%s\n%-26s %-24s %-24s %-24s\n",
+		app, "Operation", "NVProf Profiled", "HPCToolkit Profiled", "Diogenes Estimated"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		nv := "Profiler Crashed"
+		if !r.NVProfCrashed {
+			if r.NVProfPos > 0 {
+				nv = fmt.Sprintf("%s (%.1f%%, %d)", seconds(r.NVProfTime), r.NVProfPct, r.NVProfPos)
+			} else {
+				nv = "-"
+			}
+		}
+		hpc := "-"
+		if r.HPCPos > 0 {
+			hpc = fmt.Sprintf("%s (%.1f%%, %d)", seconds(r.HPCTime), r.HPCPct, r.HPCPos)
+		}
+		dio := "-"
+		if r.DiogenesListed {
+			dio = fmt.Sprintf("%s (%.2f%%, %d)", seconds(r.DiogenesSavings), r.DiogenesPct, r.DiogenesPos)
+		}
+		fmt.Fprintf(w, "%-26s %-24s %-24s %-24s\n", r.Func, nv, hpc, dio)
+	}
+	return nil
+}
+
+// AutofixPlan writes a patch plan: the corrections, their estimates, and
+// the problems the planner declined.
+func AutofixPlan(w io.Writer, plan PlanView) error {
+	if _, err := fmt.Fprintf(w, "Automatic correction plan — %s\n", plan.App); err != nil {
+		return err
+	}
+	for i, a := range plan.Actions {
+		fmt.Fprintf(w, "%2d. [%-32s] %-44s %10s (%d sites)\n",
+			i+1, a.Kind, a.Label, seconds(a.Estimated), a.Count)
+	}
+	fmt.Fprintf(w, "    total estimated benefit: %s\n", seconds(plan.Estimated))
+	for _, s := range plan.Skipped {
+		fmt.Fprintf(w, "    skipped: %s\n", s)
+	}
+	return nil
+}
+
+// PlanView is the renderer-facing shape of an autofix plan (kept local so
+// report does not import autofix; the CLI adapts).
+type PlanView struct {
+	App       string
+	Estimated simtime.Duration
+	Actions   []PlanAction
+	Skipped   []string
+}
+
+// PlanAction is one rendered correction.
+type PlanAction struct {
+	Kind      string
+	Label     string
+	Estimated simtime.Duration
+	Count     int
+}
+
+// OverheadSummary writes the §5.3 data-collection cost summary for a report.
+func OverheadSummary(w io.Writer, rep *ffm.Report) error {
+	if _, err := fmt.Fprintf(w, "Data collection cost — %s\n", rep.App); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  uninstrumented execution: %s\n", seconds(rep.UninstrumentedTime))
+	fmt.Fprintf(w, "  stage 1 (baseline):       %s\n", seconds(rep.Stage1Time))
+	fmt.Fprintf(w, "  stage 2 (tracing):        %s\n", seconds(rep.Stage2Time))
+	fmt.Fprintf(w, "  stage 3 (memory/hash):    %s\n", seconds(rep.Stage3Time))
+	fmt.Fprintf(w, "  stage 4 (sync-use):       %s\n", seconds(rep.Stage4Time))
+	fmt.Fprintf(w, "  total collection:         %s (%.1fx)\n",
+		seconds(rep.CollectionCost()), rep.OverheadMultiple())
+	return nil
+}
+
+// OverlapSummary writes the CPU/GPU overlap statistics of the reference run.
+func OverlapSummary(w io.Writer, st ffm.OverlapStats) error {
+	if _, err := fmt.Fprintf(w, "CPU/GPU overlap (uninstrumented run)\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  execution:      %s\n", seconds(st.ExecTime))
+	fmt.Fprintf(w, "  GPU busy:       %s (%.1f%% utilization)\n", seconds(st.GPUBusy), 100*st.GPUUtilization)
+	fmt.Fprintf(w, "  GPU idle:       %s\n", seconds(st.GPUIdle))
+	fmt.Fprintf(w, "  CPU blocked:    %s (%.1f%% of execution)\n", seconds(st.CPUBlocked), 100*st.BlockedShare)
+	return nil
+}

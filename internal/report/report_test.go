@@ -1,0 +1,280 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diogenes/internal/callstack"
+	"diogenes/internal/experiments"
+	"diogenes/internal/ffm"
+	"diogenes/internal/simtime"
+	"diogenes/internal/trace"
+)
+
+// sampleAnalysis builds an analysis with one problem sequence repeating
+// three times and a mix of API functions.
+func sampleAnalysis() *ffm.Analysis {
+	run := &trace.Run{App: "sample", Stage: 4}
+	var at simtime.Time
+	seq := int64(0)
+	add := func(fn string, class trace.OpClass, line int, dup, accessed bool) {
+		seq++
+		run.Records = append(run.Records, trace.Record{
+			Seq: seq, Func: fn, Class: class,
+			Entry: at, Exit: at.Add(simtime.Millisecond), SyncWait: simtime.Millisecond / 2,
+			Scope: "implicit", Duplicate: dup, ProtectedAccess: accessed,
+			Stack: callstack.Trace{{Function: "step<float>", File: "app.cpp", Line: line}},
+		})
+		at = at.Add(simtime.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		add("cudaFree", trace.ClassSync, 10, false, false)
+		at = at.Add(simtime.Millisecond)
+		add("cudaMemcpy", trace.ClassTransfer, 12, i > 0, false)
+		at = at.Add(simtime.Millisecond)
+		add("cudaMemcpy", trace.ClassSync, 20, false, true) // necessary
+		at = at.Add(2 * simtime.Millisecond)
+	}
+	run.ExecTime = simtime.Duration(at)
+	return ffm.Analyze(run, ffm.DefaultAnalysisOptions())
+}
+
+func TestOverviewDisplay(t *testing.T) {
+	a := sampleAnalysis()
+	var buf bytes.Buffer
+	if err := Overview(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Diogenes Overview Display — sample",
+		"Fold on cudaFree",
+		"Sequence starting at call",
+		"Back/Previous",
+		"Exit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overview missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: first listed benefit >= later ones.
+	first := strings.Index(out, "Fold on")
+	seqIdx := strings.Index(out, "Sequence starting")
+	if first < 0 || seqIdx < 0 {
+		t.Fatal("entries missing")
+	}
+}
+
+func TestExpandFoldDisplay(t *testing.T) {
+	a := sampleAnalysis()
+	folds := a.APIFolds()
+	if len(folds) == 0 {
+		t.Fatal("no folds")
+	}
+	var fold ffm.APIFold
+	for _, f := range folds {
+		if f.Func == "cudaFree" {
+			fold = f
+		}
+	}
+	var buf bytes.Buffer
+	if err := ExpandFold(&buf, a, fold); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Expansion of Problem — Fold on cudaFree") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "step<float>") {
+		t.Fatalf("caller expansion missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Conditionally unnecessary") {
+		t.Fatal("condition annotation missing")
+	}
+}
+
+func TestSequenceDisplay(t *testing.T) {
+	a := sampleAnalysis()
+	seqs := a.StaticSequences()
+	if len(seqs) == 0 {
+		t.Fatal("no sequences")
+	}
+	var buf bytes.Buffer
+	if err := Sequence(&buf, a, seqs[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Time Recoverable:",
+		"of execution time",
+		"Number of Sync Issues:",
+		"Number of Transfer Issues:",
+		"Select start/ending subsequence",
+		"1. cudaFree in app.cpp at line 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sequence display missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSubsequenceDisplay(t *testing.T) {
+	a := sampleAnalysis()
+	seqs := a.StaticSequences()
+	sub, err := a.SubsequenceBenefit(seqs[0], 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Subsequence(&buf, a, sub); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Time Recoverable In Subsequence:") {
+		t.Fatalf("subsequence header missing:\n%s", buf.String())
+	}
+}
+
+func TestSavingsDisplay(t *testing.T) {
+	a := sampleAnalysis()
+	var buf bytes.Buffer
+	if err := Savings(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, " 1. cudaFree") && !strings.Contains(out, " 1. cudaMemcpy") {
+		t.Fatalf("no ranked rows:\n%s", out)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	rows := []experiments.Table1Row{{
+		App: "cumf_als", Issues: "Sync and Mem Trans",
+		Estimated: 137 * simtime.Second, EstimatedPct: 10.0,
+		Actual: 106 * simtime.Second, ActualPct: 8.3,
+		Accuracy: 77, Overhead: 8,
+		PaperEstPct: 10.0, PaperActPct: 8.3,
+	}}
+	var buf bytes.Buffer
+	if err := Table1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cumf_als", "Sync and Mem Trans", "137.000s", "106.000s", "77.0%", "8.0x", "(paper)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	rows := []experiments.Table2Row{
+		{
+			App: "cumf_als", Func: "cudaDeviceSynchronize",
+			NVProfTime: 745 * simtime.Second, NVProfPct: 52.0, NVProfPos: 1,
+			HPCTime: 628 * simtime.Second, HPCPct: 24.5, HPCPos: 1,
+			DiogenesSavings: simtime.Second, DiogenesPct: 0.07, DiogenesPos: 3, DiogenesListed: true,
+		},
+		{App: "cumf_als", Func: "cudaMalloc", NVProfTime: 218 * simtime.Second, NVProfPct: 17.3, NVProfPos: 3},
+		{App: "cuibm", Func: "cudaFree", NVProfCrashed: true, HPCTime: 447 * simtime.Second, HPCPct: 12.3, HPCPos: 1},
+	}
+	var buf bytes.Buffer
+	if err := Table2(&buf, "cumf_als", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"745.000s (52.0%, 1)",
+		"628.000s (24.5%, 1)",
+		"1.000s (0.07%, 3)",
+		"Profiler Crashed",
+		"cudaMalloc",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q:\n%s", want, out)
+		}
+	}
+	// cudaMalloc has no Diogenes entry: rendered as '-'.
+	if !strings.Contains(out, "-") {
+		t.Error("missing '-' for uncollected function")
+	}
+}
+
+func TestOverheadSummaryRendering(t *testing.T) {
+	rep := &ffm.Report{
+		App:                "x",
+		UninstrumentedTime: simtime.Second,
+		Stage1Time:         simtime.Second,
+		Stage2Time:         2 * simtime.Second,
+		Stage3Time:         4 * simtime.Second,
+		Stage4Time:         simtime.Second,
+	}
+	var buf bytes.Buffer
+	if err := OverheadSummary(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "8.000s (8.0x)") {
+		t.Fatalf("total line wrong:\n%s", out)
+	}
+	for _, stage := range []string{"stage 1", "stage 2", "stage 3", "stage 4"} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("missing %s line", stage)
+		}
+	}
+}
+
+func TestOverlapSummaryRendering(t *testing.T) {
+	st := ffm.OverlapStats{
+		ExecTime:       10 * simtime.Second,
+		GPUBusy:        6 * simtime.Second,
+		GPUIdle:        4 * simtime.Second,
+		CPUBlocked:     3 * simtime.Second,
+		GPUUtilization: 0.6,
+		BlockedShare:   0.3,
+	}
+	var buf bytes.Buffer
+	if err := OverlapSummary(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"60.0% utilization", "CPU blocked", "30.0% of execution"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overlap summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	// Build a minimal but complete report around the sample analysis.
+	a := sampleAnalysis()
+	rep := &ffm.Report{
+		App:                a.App,
+		UninstrumentedTime: a.ExecTime,
+		Stage1Time:         a.ExecTime,
+		Stage2Time:         2 * a.ExecTime,
+		Stage3Time:         4 * a.ExecTime,
+		Stage4Time:         a.ExecTime,
+		Analysis:           a,
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{
+		"# Diogenes findings — sample",
+		"## Findings by API function",
+		"| # | Function | Expected savings |",
+		"`cudaFree`",
+		"## Fold expansion:",
+		"## Top problem sequence",
+		"## CPU/GPU overlap",
+		"## Data collection cost",
+		"(8.0x)**",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

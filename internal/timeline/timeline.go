@@ -1,0 +1,138 @@
+// Package timeline exports the simulated execution as a Chrome trace-event
+// file (the chrome://tracing / Perfetto JSON format), with one row for the
+// CPU thread's driver calls — wait portions marked — and one row per GPU
+// stream. The paper stores Diogenes data in JSON "allowing other tools the
+// ability to access data collected by Diogenes" (§4); a standard timeline
+// format is the natural visualization companion.
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+	"diogenes/internal/trace"
+)
+
+// Event is one Chrome trace event (the "X" complete-event form).
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// File is the top-level trace-event container.
+type File struct {
+	TraceEvents []Event           `json:"traceEvents"`
+	Metadata    map[string]string `json:"otherData,omitempty"`
+}
+
+const (
+	pidProcess = 1
+	tidCPU     = 0
+	// GPU stream rows start here; stream N renders as tid streamBase+N.
+	streamBase = 100
+)
+
+func us(t simtime.Time) float64        { return float64(t) / float64(simtime.Microsecond) }
+func usDur(d simtime.Duration) float64 { return float64(d) / float64(simtime.Microsecond) }
+
+// Build assembles a trace file from an annotated run (CPU rows) and the
+// device operation log (GPU rows). Either may be nil.
+func Build(run *trace.Run, ops []*gpu.Op) *File {
+	f := &File{Metadata: map[string]string{
+		"tool":   "diogenes",
+		"format": "chrome-trace-events",
+	}}
+	if run != nil {
+		f.Metadata["app"] = run.App
+		for i := range run.Records {
+			rec := &run.Records[i]
+			args := map[string]any{
+				"class": string(rec.Class),
+				"scope": rec.Scope,
+			}
+			if rec.Duplicate {
+				args["duplicate"] = true
+			}
+			if rec.ProtectedAccess {
+				args["firstUse_us"] = usDur(rec.FirstUse)
+			}
+			f.TraceEvents = append(f.TraceEvents, Event{
+				Name: rec.Func, Cat: "driver", Phase: "X",
+				TS: us(rec.Entry), Dur: usDur(rec.Duration()),
+				PID: pidProcess, TID: tidCPU, Args: args,
+			})
+			if rec.SyncWait > 0 {
+				// Render the wait portion as a nested slice at the end of
+				// the call, where the block happens.
+				waitStart := rec.Exit.Add(-rec.SyncWait)
+				f.TraceEvents = append(f.TraceEvents, Event{
+					Name: "wait", Cat: "sync", Phase: "X",
+					TS: us(waitStart), Dur: usDur(rec.SyncWait),
+					PID: pidProcess, TID: tidCPU,
+					Args: map[string]any{"for": rec.Func},
+				})
+			}
+		}
+	}
+	for _, op := range ops {
+		end := op.End
+		if end == simtime.Infinity {
+			end = op.Start // open-ended kernels render as zero-length markers
+		}
+		f.TraceEvents = append(f.TraceEvents, Event{
+			Name: op.Name, Cat: op.Kind.String(), Phase: "X",
+			TS: us(op.Start), Dur: us(end) - us(op.Start),
+			PID: pidProcess, TID: streamBase + int(op.Stream),
+			Args: map[string]any{"bytes": op.Bytes, "stream": int(op.Stream)},
+		})
+	}
+	return f
+}
+
+// Write serializes the file as JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// Read parses a trace file written by Write.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("timeline: decoding: %w", err)
+	}
+	return &f, nil
+}
+
+// Span returns the time range covered by the events, in microseconds.
+func (f *File) Span() (start, end float64) {
+	first := true
+	for _, e := range f.TraceEvents {
+		if first || e.TS < start {
+			start = e.TS
+		}
+		if first || e.TS+e.Dur > end {
+			end = e.TS + e.Dur
+		}
+		first = false
+	}
+	return start, end
+}
+
+// RowCount returns the number of distinct rows (tids) in the file.
+func (f *File) RowCount() int {
+	rows := map[int]bool{}
+	for _, e := range f.TraceEvents {
+		rows[e.TID] = true
+	}
+	return len(rows)
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON feeds arbitrary bytes to the trace reader: it must never
+// panic, and anything it accepts must re-serialize and re-parse to the same
+// structural shape.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	_ = sampleRun().WriteJSON(&seed)
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"app":"x","records":[{"seq":1}]}`)
+	f.Add(`{"format": 99}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, input string) {
+		run, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := run.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted run failed to serialize: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if len(again.Records) != len(run.Records) || again.App != run.App {
+			t.Fatalf("round trip changed shape: %d/%q vs %d/%q",
+				len(again.Records), again.App, len(run.Records), run.App)
+		}
+	})
+}

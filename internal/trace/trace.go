@@ -1,0 +1,160 @@
+// Package trace defines the performance-data records FFM's collection
+// stages produce and the JSON container Diogenes stores them in.
+//
+// The paper (§1, §4): "Diogenes collected performance data is stored in a
+// standard format (JSON) that can be read by other tools." Each stage's
+// output is a Run; stage 5 consumes Runs and produces analysis results
+// (package ffm).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"diogenes/internal/callstack"
+	"diogenes/internal/simtime"
+)
+
+// OpClass separates the two operation families FFM collects.
+type OpClass string
+
+// Operation classes.
+const (
+	ClassSync     OpClass = "sync"
+	ClassTransfer OpClass = "transfer"
+)
+
+// Site is a source position, the serialized form of memory.Site.
+type Site struct {
+	Function string `json:"function,omitempty"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+}
+
+// IsZero reports whether the site is unset.
+func (s Site) IsZero() bool { return s == Site{} }
+
+// String renders the site as function (file:line).
+func (s Site) String() string {
+	if s.IsZero() {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s (%s:%d)", s.Function, s.File, s.Line)
+}
+
+// Record is one traced operation. The collection stages populate
+// progressively more of it: stage 2 fills the timing and stack fields,
+// stage 3 the duplicate/access fields, stage 4 FirstUse.
+type Record struct {
+	Seq   int64   `json:"seq"`
+	Func  string  `json:"func"`
+	Class OpClass `json:"class"`
+
+	Entry    simtime.Time     `json:"entry"`
+	Exit     simtime.Time     `json:"exit"`
+	SyncWait simtime.Duration `json:"syncWait,omitempty"`
+	Scope    string           `json:"scope,omitempty"`
+
+	Dir      string `json:"dir,omitempty"`
+	Bytes    int    `json:"bytes,omitempty"`
+	HostAddr uint64 `json:"hostAddr,omitempty"`
+	HostSize int    `json:"hostSize,omitempty"`
+
+	Stack callstack.Trace `json:"stack,omitempty"`
+
+	// Stage 3 annotations.
+	Duplicate       bool   `json:"duplicate,omitempty"`
+	FirstSeq        int64  `json:"firstSeq,omitempty"`
+	Hash            string `json:"hash,omitempty"`
+	ProtectedAccess bool   `json:"protectedAccess,omitempty"`
+	AccessSite      Site   `json:"accessSite,omitempty"`
+
+	// Stage 4 annotation: time from synchronization end to first use of
+	// protected data.
+	FirstUse simtime.Duration `json:"firstUse,omitempty"`
+}
+
+// Duration returns the record's total call time.
+func (r *Record) Duration() simtime.Duration { return r.Exit.Sub(r.Entry) }
+
+// Run is the output of one instrumented execution of the application.
+// FormatVersion is the trace interchange schema version, bumped on
+// incompatible changes so consuming tools can reject newer files cleanly.
+const FormatVersion = 1
+
+type Run struct {
+	App   string `json:"app"`
+	Stage int    `json:"stage"`
+	// Format is the schema version; WriteJSON stamps FormatVersion and
+	// ReadJSON rejects files from a newer schema.
+	Format int `json:"format,omitempty"`
+	// ExecTime is the overhead-compensated execution time: wall virtual
+	// time minus the known instrumentation cost, i.e. the application's
+	// own timeline that records are stamped on.
+	ExecTime simtime.Duration `json:"execTime"`
+	// RawExecTime is the actual instrumented run duration — what the data
+	// collection cost (§5.3's overhead accounting uses it).
+	RawExecTime simtime.Duration `json:"rawExecTime"`
+	TotalCalls  int64            `json:"totalCalls"`
+	// SyncFuncs is stage 1's product: the driver API functions observed to
+	// synchronize, in first-seen order.
+	SyncFuncs []string `json:"syncFuncs,omitempty"`
+	Records   []Record `json:"records,omitempty"`
+}
+
+// WriteJSON serializes the run with indentation (the on-disk tool format).
+func (r *Run) WriteJSON(w io.Writer) error {
+	stamped := *r
+	stamped.Format = FormatVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&stamped)
+}
+
+// ReadJSON parses a run written by WriteJSON. Files stamped with a newer
+// schema version are rejected rather than misread.
+func ReadJSON(rd io.Reader) (*Run, error) {
+	var run Run
+	if err := json.NewDecoder(rd).Decode(&run); err != nil {
+		return nil, fmt.Errorf("trace: decoding run: %w", err)
+	}
+	if run.Format > FormatVersion {
+		return nil, fmt.Errorf("trace: file format %d newer than supported %d", run.Format, FormatVersion)
+	}
+	return &run, nil
+}
+
+// OfClass returns the records of one class, preserving order.
+func (r *Run) OfClass(c OpClass) []Record {
+	var out []Record
+	for _, rec := range r.Records {
+		if rec.Class == c {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TotalSyncWait sums the synchronization wait across all records.
+func (r *Run) TotalSyncWait() simtime.Duration {
+	var total simtime.Duration
+	for _, rec := range r.Records {
+		total += rec.SyncWait
+	}
+	return total
+}
+
+// ByFunc groups record indexes by API function.
+func (r *Run) ByFunc() map[string][]int {
+	out := make(map[string][]int)
+	for i, rec := range r.Records {
+		out[rec.Func] = append(out[rec.Func], i)
+	}
+	return out
+}
+
+// SiteOf converts a callstack frame to a trace Site.
+func SiteOf(f callstack.Frame) Site {
+	return Site{Function: f.Function, File: f.File, Line: f.Line}
+}
