@@ -505,3 +505,49 @@ func BenchmarkAblationSingleRun(b *testing.B) {
 	b.ReportMetric(float64(len(single.Run.Records)), "single-run-records")
 	b.ReportMetric(float64(len(multi.Records)), "multi-run-records")
 }
+
+// --- Parallel execution engine ----------------------------------------------
+
+// benchTable1Engine regenerates the whole of Table 1 through a fresh engine
+// per iteration, so the report cache cannot carry results across iterations
+// and the measured time is a full four-app suite execution.
+func benchTable1Engine(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		eng := experiments.NewEngine(workers)
+		rows, err := eng.Table1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable1Serial is the historical one-app-at-a-time suite.
+func BenchmarkTable1Serial(b *testing.B) { benchTable1Engine(b, 1) }
+
+// BenchmarkTable1Parallel4 runs the same suite with four app workers plus
+// intra-pipeline stage overlap; compare ns/op against BenchmarkTable1Serial
+// for the wall-clock speedup (the outputs are byte-identical — the
+// experiments package's determinism tests prove it).
+func BenchmarkTable1Parallel4(b *testing.B) { benchTable1Engine(b, 4) }
+
+// BenchmarkTable1ThenTable2Cached measures the cross-suite cache: table1
+// followed by a full table2 on one engine, where every Diogenes pipeline
+// table2 needs is already memoized.
+func BenchmarkTable1ThenTable2Cached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := experiments.NewEngine(4)
+		if _, err := eng.Table1(benchScale); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Table2(benchScale, nil); err != nil {
+			b.Fatal(err)
+		}
+		hits, _, _ := eng.Cache.Stats()
+		if hits == 0 {
+			b.Fatal("cache produced no hits")
+		}
+	}
+}

@@ -32,7 +32,7 @@ type AMG struct {
 	CPUAssembly  simtime.Duration
 	ManagedBytes int
 
-	finalState string
+	finalState checksum
 }
 
 // NewAMG builds the model at the given scale (scale 1.0 ≈ 120 V-cycles of
@@ -228,14 +228,14 @@ func (a *AMG) Run(p *proc.Process) error {
 	if err != nil {
 		return err
 	}
-	a.finalState = hashstore.Hash(data).Hex()
+	a.finalState.set(hashstore.Hash(data).Hex())
 	return nil
 }
 
 // FinalState implements Checksummer. It reflects the most recent
 // single-process Run; the MPI wrapper records rank 0's digest through Step
 // only, so registry users should compare via the direct Run path.
-func (a *AMG) FinalState() string { return a.finalState }
+func (a *AMG) FinalState() string { return a.finalState.get() }
 
 // amgRanks is the simulated MPI world size: AMG is "an MPI based parallel
 // algebraic multigrid solver"; the tool instruments rank 0's process while

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"diogenes/internal/proc"
 )
@@ -100,6 +101,28 @@ type Checksummer interface {
 	// FinalState returns a digest of the application's results after Run,
 	// or "" if Run has not completed.
 	FinalState() string
+}
+
+// checksum is the synchronized result-digest cell the modelled applications
+// record their FinalState into. A parallel FFM run executes the same App
+// value concurrently from several collection stages (each in its own
+// process); the digest every run computes is identical, but under the Go
+// memory model the concurrent writes still need synchronization.
+type checksum struct {
+	mu sync.Mutex
+	v  string
+}
+
+func (c *checksum) set(v string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v = v
+}
+
+func (c *checksum) get() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
 }
 
 // scaled returns max(1, round(n*scale)).

@@ -45,7 +45,7 @@ type CuIBM struct {
 	ResidualWork  simtime.Duration
 	ComputeWork   simtime.Duration
 
-	finalState string
+	finalState checksum
 }
 
 // NewCuIBM builds the model at the given scale (scale 1.0 ≈ 4000 timesteps
@@ -249,13 +249,13 @@ func (a *CuIBM) Run(p *proc.Process) error {
 		if e != nil {
 			return e
 		}
-		a.finalState = hashstore.Hash(data).Hex()
+		a.finalState.set(hashstore.Hash(data).Hex())
 	}
 	return err
 }
 
 // FinalState implements Checksummer.
-func (a *CuIBM) FinalState() string { return a.finalState }
+func (a *CuIBM) FinalState() string { return a.finalState.get() }
 
 func init() {
 	register(Spec{

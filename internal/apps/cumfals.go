@@ -43,7 +43,7 @@ type CumfALS struct {
 	GapWork      simtime.Duration
 	ModelWork    simtime.Duration
 
-	finalState string
+	finalState checksum
 }
 
 // NewCumfALS builds the model at the given scale (scale 1.0 ≈ 600
@@ -286,13 +286,13 @@ func (a *CumfALS) Run(p *proc.Process) error {
 		if e != nil {
 			return e
 		}
-		a.finalState = hashstore.Hash(data).Hex()
+		a.finalState.set(hashstore.Hash(data).Hex())
 	}
 	return err
 }
 
 // FinalState implements Checksummer.
-func (a *CumfALS) FinalState() string { return a.finalState }
+func (a *CumfALS) FinalState() string { return a.finalState.get() }
 
 func init() {
 	register(Spec{

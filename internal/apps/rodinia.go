@@ -29,7 +29,7 @@ type RodiniaGaussian struct {
 	RowWork  simtime.Duration
 	MulBytes int
 
-	finalState string
+	finalState checksum
 }
 
 // NewRodiniaGaussian builds the model at the given scale (scale 1.0 ≈ a
@@ -170,13 +170,13 @@ func (a *RodiniaGaussian) Run(p *proc.Process) error {
 		if e != nil {
 			return e
 		}
-		a.finalState = hashstore.Hash(data).Hex()
+		a.finalState.set(hashstore.Hash(data).Hex())
 	}
 	return err
 }
 
 // FinalState implements Checksummer.
-func (a *RodiniaGaussian) FinalState() string { return a.finalState }
+func (a *RodiniaGaussian) FinalState() string { return a.finalState.get() }
 
 func init() {
 	register(Spec{

@@ -22,33 +22,55 @@ import (
 )
 
 // Main dispatches a command line (without the program name) and returns the
-// process exit code. All output goes to stdout/stderr.
+// process exit code. All output goes to stdout/stderr. Global flags precede
+// the command: `diogenes -parallel 4 table1` runs the experiment suite on a
+// four-worker execution engine.
 func Main(args []string, stdout, stderr io.Writer) int {
+	globals := newFlagSet("diogenes")
+	parallel := globals.Int("parallel", 1, "worker count for experiment suites (0 = all cores)")
+	if err := globals.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			usage(stderr)
+			return 0
+		}
+		fmt.Fprintf(stderr, "diogenes: %v\n", err)
+		usage(stderr)
+		return 2
+	}
+	args = globals.Args()
 	if len(args) < 1 {
 		usage(stderr)
 		return 2
 	}
+	if *parallel < 0 {
+		fmt.Fprintf(stderr, "diogenes: -parallel %d: worker count cannot be negative\n", *parallel)
+		return 2
+	}
+	// One engine for the whole invocation: every sub-result a command
+	// needs twice (table2 and autofix both re-run the table1 pipelines)
+	// comes from the content-addressed report cache instead.
+	eng := experiments.NewEngine(*parallel)
 	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "list":
 		err = List(stdout)
 	case "run":
-		err = RunCmd(stdout, rest)
+		err = RunCmd(stdout, eng, rest)
 	case "analyze":
 		err = Analyze(stdout, rest)
 	case "table1":
-		err = Table1(stdout, rest)
+		err = Table1(stdout, eng, rest)
 	case "table2":
-		err = Table2(stdout, rest)
+		err = Table2(stdout, eng, rest)
 	case "overhead":
-		err = Overhead(stdout, rest)
+		err = Overhead(stdout, eng, rest)
 	case "autofix":
-		err = Autofix(stdout, rest)
+		err = Autofix(stdout, eng, rest)
 	case "random":
-		err = Random(stdout, rest)
+		err = Random(stdout, eng, rest)
 	case "verify":
-		err = Verify(stdout, rest)
+		err = Verify(stdout, eng, rest)
 	case "discover":
 		err = Discover(stdout)
 	case "help", "-h", "--help":
@@ -67,6 +89,13 @@ func Main(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `Diogenes — feed-forward CPU/GPU performance measurement (SC '19 reproduction)
+
+global flags (before the command):
+  -parallel n               run experiment suites on n workers (0 = all
+                            cores; default 1). Parallel runs produce output
+                            byte-identical to serial runs: every pipeline
+                            stage executes in its own simulated process on
+                            its own virtual clock.
 
 commands:
   list                      list the modelled applications
@@ -114,7 +143,7 @@ func newFlagSet(name string) *flag.FlagSet {
 
 // RunCmd executes the full pipeline on one application and renders the
 // findings and optional exports.
-func RunCmd(w io.Writer, args []string) error {
+func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 	name, args := takeName(args)
 	fs := newFlagSet("run")
 	scale := fs.Float64("scale", 0.25, "workload scale")
@@ -130,7 +159,7 @@ func RunCmd(w io.Writer, args []string) error {
 		return fmt.Errorf("run: application name expected (see 'diogenes list')")
 	}
 
-	rep, err := experiments.RunApp(name, *scale)
+	rep, err := eng.RunApp(name, *scale)
 	if err != nil {
 		return err
 	}
@@ -251,13 +280,13 @@ func Analyze(w io.Writer, args []string) error {
 }
 
 // Table1 regenerates Table 1.
-func Table1(w io.Writer, args []string) error {
+func Table1(w io.Writer, eng *experiments.Engine, args []string) error {
 	fs := newFlagSet("table1")
 	scale := fs.Float64("scale", 0.25, "workload scale")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := experiments.Table1(*scale)
+	rows, err := eng.Table1(*scale)
 	if err != nil {
 		return err
 	}
@@ -265,7 +294,7 @@ func Table1(w io.Writer, args []string) error {
 }
 
 // Table2 regenerates Table 2 for the named applications (all by default).
-func Table2(w io.Writer, args []string) error {
+func Table2(w io.Writer, eng *experiments.Engine, args []string) error {
 	fs := newFlagSet("table2")
 	scale := fs.Float64("scale", 0.25, "workload scale")
 	if err := fs.Parse(args); err != nil {
@@ -277,15 +306,15 @@ func Table2(w io.Writer, args []string) error {
 			names = append(names, spec.Name)
 		}
 	}
-	for i, name := range names {
-		rows, err := experiments.Table2For(name, *scale)
-		if err != nil {
-			return err
-		}
+	sections, err := eng.Table2(*scale, names)
+	if err != nil {
+		return err
+	}
+	for i, rows := range sections {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		if err := report.Table2(w, name, rows); err != nil {
+		if err := report.Table2(w, names[i], rows); err != nil {
 			return err
 		}
 	}
@@ -293,7 +322,7 @@ func Table2(w io.Writer, args []string) error {
 }
 
 // Overhead prints the §5.3 cost breakdown for one application.
-func Overhead(w io.Writer, args []string) error {
+func Overhead(w io.Writer, eng *experiments.Engine, args []string) error {
 	name, args := takeName(args)
 	fs := newFlagSet("overhead")
 	scale := fs.Float64("scale", 0.25, "workload scale")
@@ -303,7 +332,7 @@ func Overhead(w io.Writer, args []string) error {
 	if name == "" {
 		return fmt.Errorf("overhead: application name expected (see 'diogenes list')")
 	}
-	rep, err := experiments.RunApp(name, *scale)
+	rep, err := eng.RunApp(name, *scale)
 	if err != nil {
 		return err
 	}
@@ -312,7 +341,7 @@ func Overhead(w io.Writer, args []string) error {
 
 // Autofix plans, applies and validates automatic corrections on one
 // application.
-func Autofix(w io.Writer, args []string) error {
+func Autofix(w io.Writer, eng *experiments.Engine, args []string) error {
 	name, args := takeName(args)
 	fs := newFlagSet("autofix")
 	scale := fs.Float64("scale", 0.25, "workload scale")
@@ -329,7 +358,7 @@ func Autofix(w io.Writer, args []string) error {
 	}
 
 	fmt.Fprintf(w, "Running the FFM pipeline on %s ...\n", name)
-	rep, err := experiments.RunApp(name, *scale)
+	rep, err := eng.RunApp(name, *scale)
 	if err != nil {
 		return err
 	}
@@ -367,14 +396,16 @@ func Autofix(w io.Writer, args []string) error {
 
 // Random runs the pipeline on a seeded random workload — a quick way to
 // exercise the whole stack on call patterns no modelled application has.
-func Random(w io.Writer, args []string) error {
+func Random(w io.Writer, eng *experiments.Engine, args []string) error {
 	fs := newFlagSet("random")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	steps := fs.Int("steps", 80, "workload length")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rep, err := ffm.Run(apps.NewRandomApp(*seed, *steps), ffm.DefaultConfig())
+	cfg := ffm.DefaultConfig()
+	cfg.Workers = eng.StageWorkers
+	rep, err := ffm.Run(apps.NewRandomApp(*seed, *steps), cfg)
 	if err != nil {
 		return err
 	}
@@ -387,13 +418,13 @@ func Random(w io.Writer, args []string) error {
 
 // Verify applies the automatic correction to every modelled application and
 // prints the realized benefit next to the paper's manual fix.
-func Verify(w io.Writer, args []string) error {
+func Verify(w io.Writer, eng *experiments.Engine, args []string) error {
 	fs := newFlagSet("verify")
 	scale := fs.Float64("scale", 0.1, "workload scale")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := autofix.Table(*scale)
+	rows, err := autofix.TableWith(eng, *scale)
 	if err != nil {
 		return err
 	}

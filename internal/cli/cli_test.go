@@ -238,3 +238,52 @@ func TestVerifyCommand(t *testing.T) {
 		t.Error("a fix was rejected on the clean workloads")
 	}
 }
+
+func TestParallelFlagOutputMatchesSerial(t *testing.T) {
+	serialCode, serialOut, _ := runMain(t, "table1", "-scale", "0.02")
+	if serialCode != 0 {
+		t.Fatalf("serial table1 exit = %d", serialCode)
+	}
+	parCode, parOut, _ := runMain(t, "-parallel", "4", "table1", "-scale", "0.02")
+	if parCode != 0 {
+		t.Fatalf("parallel table1 exit = %d", parCode)
+	}
+	if serialOut != parOut {
+		t.Fatalf("-parallel 4 changed table1 output:\nserial:\n%s\nparallel:\n%s", serialOut, parOut)
+	}
+}
+
+func TestParallelFlagTable2MatchesSerial(t *testing.T) {
+	_, serialOut, _ := runMain(t, "table2", "-scale", "0.02", "amg")
+	code, parOut, _ := runMain(t, "-parallel", "2", "table2", "-scale", "0.02", "amg")
+	if code != 0 {
+		t.Fatalf("parallel table2 exit = %d", code)
+	}
+	if serialOut != parOut {
+		t.Fatal("-parallel 2 changed table2 output")
+	}
+}
+
+func TestParallelFlagRejectsNegative(t *testing.T) {
+	code, _, errOut := runMain(t, "-parallel", "-3", "table1", "-scale", "0.02")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "parallel") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestParallelFlagUnparseable(t *testing.T) {
+	code, _, _ := runMain(t, "-parallel", "lots", "table1")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestUsageMentionsParallel(t *testing.T) {
+	_, _, errOut := runMain(t, "help")
+	if !strings.Contains(errOut, "-parallel") {
+		t.Fatal("usage does not document -parallel")
+	}
+}

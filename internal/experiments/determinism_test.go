@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/ffm"
+	"diogenes/internal/proc"
+)
+
+// updateGolden rewrites the committed golden files from the current serial
+// pipeline output: go test ./internal/experiments -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite determinism golden files")
+
+// goldenScale keeps the golden files small while running every app shape.
+const goldenScale = 0.02
+
+// reportJSON serializes a full report.
+func reportJSON(t *testing.T, rep *ffm.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// analysisJSON serializes just the stage-5 analysis (the committed golden
+// payload — compact, and covering every benefit number the tool reports).
+func analysisJSON(t *testing.T, rep *ffm.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.Analysis.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelReportByteIdentical is the headline determinism claim: for
+// every modelled application, the parallel engine (stage-2 concurrent with
+// stages 3→4, apps fanned out over four workers) produces a Report whose
+// complete JSON serialization — baseline, annotated trace, device ops,
+// stage times, analysis — is byte-identical to the serial pipeline's.
+func TestParallelReportByteIdentical(t *testing.T) {
+	serial := &Engine{Workers: 1}
+	parallel := NewEngine(4)
+	for _, spec := range apps.Registry() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			sRep, err := serial.RunApp(spec.Name, goldenScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pRep, err := parallel.RunApp(spec.Name, goldenScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sBytes, pBytes := reportJSON(t, sRep), reportJSON(t, pRep)
+			if !bytes.Equal(sBytes, pBytes) {
+				t.Fatalf("parallel report differs from serial (serial %d bytes, parallel %d bytes)",
+					len(sBytes), len(pBytes))
+			}
+		})
+	}
+}
+
+// TestAnalysisGolden pins every application's serial analysis JSON to a
+// committed golden file, so any future change to pipeline determinism —
+// a reordered map walk, a nondeterministic group sort — fails loudly here
+// rather than surfacing as flaky benefit numbers.
+func TestAnalysisGolden(t *testing.T) {
+	serial := &Engine{Workers: 1}
+	for _, spec := range apps.Registry() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			rep, err := serial.RunApp(spec.Name, goldenScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := analysisJSON(t, rep)
+			path := filepath.Join("testdata", spec.Name+".analysis.golden.json")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("analysis diverged from golden %s (got %d bytes, want %d); rerun with -update if the change is intended",
+					path, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestParallelTable1MatchesSerial asserts the whole Table 1 — every row,
+// every field — is identical between the serial package path and a
+// four-worker engine.
+func TestParallelTable1MatchesSerial(t *testing.T) {
+	serialRows, err := Table1(goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRows, err := NewEngine(4).Table1(goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialRows, parRows) {
+		t.Fatalf("parallel Table 1 differs:\nserial:   %+v\nparallel: %+v", serialRows, parRows)
+	}
+}
+
+// TestParallelTable2MatchesSerial does the same for a Table 2 section,
+// which exercises the profiler comparators alongside the cached pipeline.
+func TestParallelTable2MatchesSerial(t *testing.T) {
+	names := []string{"rodinia_gaussian", "amg"}
+	var serialSections [][]Table2Row
+	for _, n := range names {
+		rows, err := Table2For(n, goldenScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialSections = append(serialSections, rows)
+	}
+	parSections, err := NewEngine(4).Table2(goldenScale, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialSections, parSections) {
+		t.Fatal("parallel Table 2 differs from serial")
+	}
+}
+
+// TestEngineCacheDeduplicates proves the content-addressed cache removes
+// redundant pipeline executions across suites: table1 followed by table2
+// and the autofix comparison re-uses every per-app report and runtime
+// instead of re-running them.
+func TestEngineCacheDeduplicates(t *testing.T) {
+	eng := NewEngine(2)
+	if _, err := eng.Table1(goldenScale); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterTable1, entries := eng.Cache.Stats()
+	if entries == 0 {
+		t.Fatal("table1 populated no cache entries")
+	}
+	if _, err := eng.Table2(goldenScale, []string{"rodinia_gaussian", "amg"}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := eng.Cache.Stats()
+	if misses != missesAfterTable1 {
+		t.Fatalf("table2 re-ran %d pipelines the cache already held", misses-missesAfterTable1)
+	}
+	if hits == 0 {
+		t.Fatal("table2 after table1 produced no cache hits")
+	}
+}
+
+// TestRunAppErrors is the table-driven error-path contract for RunApp on
+// both the serial and pooled engines.
+func TestRunAppErrors(t *testing.T) {
+	engines := map[string]*Engine{
+		"serial":   {Workers: 1},
+		"parallel": NewEngine(3),
+	}
+	tests := []struct {
+		name string
+		app  string
+	}{
+		{"unknown app", "hpl"},
+		{"empty name", ""},
+		{"case sensitivity", "CUMF_ALS"},
+		{"whitespace", " cumf_als"},
+	}
+	for engName, eng := range engines {
+		for _, tt := range tests {
+			t.Run(engName+"/"+tt.name, func(t *testing.T) {
+				if _, err := eng.RunApp(tt.app, goldenScale); err == nil {
+					t.Fatalf("RunApp(%q) accepted", tt.app)
+				}
+				if _, _, err := eng.ActualReduction(tt.app, goldenScale); err == nil {
+					t.Fatalf("ActualReduction(%q) accepted", tt.app)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineRejectsNegativeWorkers proves pool construction errors
+// propagate out of every suite entry point.
+func TestEngineRejectsNegativeWorkers(t *testing.T) {
+	bad := &Engine{Workers: -3}
+	if _, err := bad.Table1(goldenScale); err == nil {
+		t.Fatal("Table1 accepted a negative worker count")
+	}
+	if _, err := bad.Table2(goldenScale, []string{"amg"}); err == nil {
+		t.Fatal("Table2 accepted a negative worker count")
+	}
+	if _, err := bad.AutofixTable(goldenScale, func(string, float64) (*AutofixRow, error) {
+		return &AutofixRow{}, nil
+	}); err == nil {
+		t.Fatal("AutofixTable accepted a negative worker count")
+	}
+}
+
+// TestCacheKeyProperties pins the key construction rules the cache relies
+// on: stability, sensitivity to every tuple element, insensitivity to the
+// Workers knob, and refusal to fingerprint Prepare hooks.
+func TestCacheKeyProperties(t *testing.T) {
+	cfg := ffm.DefaultConfig()
+	base, ok := CacheKey("cumf_als", 0.1, apps.Original, cfg)
+	if !ok || base == "" {
+		t.Fatal("base key not produced")
+	}
+	if again, _ := CacheKey("cumf_als", 0.1, apps.Original, cfg); again != base {
+		t.Fatal("key not deterministic")
+	}
+
+	workers := cfg
+	workers.Workers = 8
+	if k, _ := CacheKey("cumf_als", 0.1, apps.Original, workers); k != base {
+		t.Fatal("Workers changed the key; serial and parallel runs must share entries")
+	}
+
+	variants := map[string]func() (string, bool){
+		"app":     func() (string, bool) { return CacheKey("cuibm", 0.1, apps.Original, cfg) },
+		"scale":   func() (string, bool) { return CacheKey("cumf_als", 0.2, apps.Original, cfg) },
+		"variant": func() (string, bool) { return CacheKey("cumf_als", 0.1, apps.Fixed, cfg) },
+		"config": func() (string, bool) {
+			c := cfg
+			c.Overheads.Stage3Probe++
+			return CacheKey("cumf_als", 0.1, apps.Original, c)
+		},
+	}
+	for name, fn := range variants {
+		if k, ok := fn(); !ok || k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+
+	prepared := cfg
+	prepared.Factory.Prepare = func(*proc.Process) {}
+	if _, ok := CacheKey("cumf_als", 0.1, apps.Original, prepared); ok {
+		t.Fatal("a config with a Prepare hook must be uncachable")
+	}
+}

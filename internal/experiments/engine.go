@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/ffm"
+	"diogenes/internal/proc"
+	"diogenes/internal/sched"
+	"diogenes/internal/simtime"
+)
+
+// Engine executes the evaluation suites on the sched worker pool, with an
+// optional content-addressed report cache shared across suites. Results
+// are byte-identical to the serial package-level functions for any worker
+// count: each pipeline and each pipeline stage runs the application in its
+// own fresh process on its own virtual clock, and result slices keep
+// registry order regardless of completion order.
+type Engine struct {
+	// Workers bounds how many independent experiment apps run at once.
+	// 0 selects GOMAXPROCS; 1 is serial.
+	Workers int
+	// StageWorkers is passed through to ffm.Config.Workers: ≥2 runs the
+	// post-baseline collection stages of each pipeline concurrently.
+	StageWorkers int
+	// Cache, when non-nil, memoizes pipeline reports and uninstrumented
+	// runtimes across Table1/Table2/autofix calls.
+	Cache *ReportCache
+}
+
+// NewEngine returns an engine of the given width with a fresh cache.
+// Widths above one also enable stage-level parallelism inside each
+// pipeline run.
+func NewEngine(workers int) *Engine {
+	e := &Engine{Workers: workers, Cache: NewReportCache()}
+	if workers == 0 || workers > 1 {
+		e.StageWorkers = 2
+	}
+	return e
+}
+
+// serialEngine backs the package-level entry points: one worker, no cache,
+// preserving the historical behaviour exactly.
+var serialEngine = &Engine{Workers: 1}
+
+// pool builds the engine's worker pool.
+func (e *Engine) pool() (*sched.Pool, error) {
+	return sched.New(e.Workers)
+}
+
+// config assembles the ffm configuration for one spec.
+func (e *Engine) config(spec apps.Spec) ffm.Config {
+	cfg := ffm.DefaultConfig()
+	cfg.Factory = spec.Factory()
+	cfg.Workers = e.StageWorkers
+	return cfg
+}
+
+// RunApp executes the full FFM pipeline on one modelled application at the
+// given scale, consulting the engine's cache first. The returned report is
+// shared when cached — callers must not mutate it.
+func (e *Engine) RunApp(name string, scale float64) (*ffm.Report, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.config(spec)
+	run := func() (*ffm.Report, error) {
+		return ffm.Run(spec.New(scale, apps.Original), cfg)
+	}
+	if e.Cache != nil {
+		if key, ok := CacheKey(name, scale, apps.Original, cfg); ok {
+			return e.Cache.Report(key, run)
+		}
+	}
+	return run()
+}
+
+// ActualReduction measures the real benefit of the paper's fix, caching
+// the per-variant uninstrumented runtimes. On a parallel engine the two
+// variant runs execute concurrently — each in its own fresh process on its
+// own virtual clock, so concurrency cannot change the measured durations.
+func (e *Engine) ActualReduction(name string, scale float64) (orig, fixed simtime.Duration, err error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := e.config(spec)
+	var times [2]simtime.Duration
+	variants := []apps.Variant{apps.Original, apps.Fixed}
+	measureInto := func(i int) func(context.Context) error {
+		v := variants[i]
+		return func(context.Context) error {
+			measure := func() (simtime.Duration, error) {
+				p := cfg.Factory.New()
+				if e := proc.SafeRun(spec.New(scale, v), p); e != nil {
+					return 0, fmt.Errorf("experiments: %s(%v): %w", name, v, e)
+				}
+				return p.ExecTime(), nil
+			}
+			var d simtime.Duration
+			var err error
+			if key, ok := CacheKey(name, scale, v, cfg); ok && e.Cache != nil {
+				d, err = e.Cache.Runtime(key, measure)
+			} else {
+				d, err = measure()
+			}
+			times[i] = d
+			return err
+		}
+	}
+	if e.StageWorkers > 1 {
+		err = sched.Go(context.Background(), 2, measureInto(0), measureInto(1))
+	} else {
+		for i := range variants {
+			if err = measureInto(i)(nil); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return times[0], times[1], nil
+}
+
+// Table1For computes one application's Table 1 row through the engine. On
+// a parallel engine the FFM pipeline and the two uninstrumented benefit
+// measurements proceed concurrently; the row is assembled from both once
+// they finish.
+func (e *Engine) Table1For(name string, scale float64) (*Table1Row, error) {
+	var (
+		rep         *ffm.Report
+		orig, fixed simtime.Duration
+	)
+	pipeline := func(context.Context) error {
+		var err error
+		rep, err = e.RunApp(name, scale)
+		return err
+	}
+	reduction := func(context.Context) error {
+		var err error
+		orig, fixed, err = e.ActualReduction(name, scale)
+		return err
+	}
+	if e.StageWorkers > 1 {
+		if err := sched.Go(context.Background(), 2, pipeline, reduction); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := pipeline(nil); err != nil {
+			return nil, err
+		}
+		if err := reduction(nil); err != nil {
+			return nil, err
+		}
+	}
+	est, err := AddressedEstimate(name, rep)
+	if err != nil {
+		return nil, err
+	}
+	return table1Assemble(name, rep, est, orig, fixed), nil
+}
+
+// Table1 regenerates Table 1, one worker per application.
+func (e *Engine) Table1(scale float64) ([]Table1Row, error) {
+	registry := apps.Registry()
+	rows := make([]*Table1Row, len(registry))
+	pool, err := e.pool()
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]sched.Task, len(registry))
+	for i, spec := range registry {
+		i, spec := i, spec
+		tasks[i] = sched.Task{Name: "table1/" + spec.Name, Fn: func(context.Context) error {
+			row, err := e.Table1For(spec.Name, scale)
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
+		}}
+	}
+	if _, err := pool.Run(context.Background(), tasks...); err != nil {
+		return nil, err
+	}
+	out := make([]Table1Row, len(rows))
+	for i, r := range rows {
+		out[i] = *r
+	}
+	return out, nil
+}
+
+// Table2For regenerates one application's section of Table 2 through the
+// engine: the pipeline report comes from the (possibly cached) engine path
+// while the comparison profilers run inline.
+func (e *Engine) Table2For(name string, scale float64) ([]Table2Row, error) {
+	return table2For(name, scale, e)
+}
+
+// Table2 regenerates Table 2 sections for the named applications, one
+// worker per application, preserving input order. Empty names selects
+// every registered application.
+func (e *Engine) Table2(scale float64, names []string) ([][]Table2Row, error) {
+	if len(names) == 0 {
+		for _, spec := range apps.Registry() {
+			names = append(names, spec.Name)
+		}
+	}
+	sections := make([][]Table2Row, len(names))
+	pool, err := e.pool()
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]sched.Task, len(names))
+	for i, name := range names {
+		i, name := i, name
+		tasks[i] = sched.Task{Name: "table2/" + name, Fn: func(context.Context) error {
+			rows, err := e.Table2For(name, scale)
+			if err != nil {
+				return err
+			}
+			sections[i] = rows
+			return nil
+		}}
+	}
+	if _, err := pool.Run(context.Background(), tasks...); err != nil {
+		return nil, err
+	}
+	return sections, nil
+}
+
+// AutofixTable measures, per application, how the automatic correction
+// compares to the paper's manual fix — one worker per application.
+func (e *Engine) AutofixTable(scale float64, apply func(name string, scale float64) (*AutofixRow, error)) ([]AutofixRow, error) {
+	registry := apps.Registry()
+	rows := make([]*AutofixRow, len(registry))
+	pool, err := e.pool()
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]sched.Task, len(registry))
+	for i, spec := range registry {
+		i, spec := i, spec
+		tasks[i] = sched.Task{Name: "autofix/" + spec.Name, Fn: func(context.Context) error {
+			row, err := apply(spec.Name, scale)
+			if err != nil {
+				return err
+			}
+			orig, fixed, err := e.ActualReduction(spec.Name, scale)
+			if err != nil {
+				return err
+			}
+			row.ManualActual = orig - fixed
+			if orig > 0 {
+				row.ManualActualPct = 100 * float64(row.ManualActual) / float64(orig)
+			}
+			rows[i] = row
+			return nil
+		}}
+	}
+	if _, err := pool.Run(context.Background(), tasks...); err != nil {
+		return nil, err
+	}
+	out := make([]AutofixRow, len(rows))
+	for i, r := range rows {
+		out[i] = *r
+	}
+	return out, nil
+}

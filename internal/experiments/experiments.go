@@ -13,7 +13,6 @@ import (
 
 	"diogenes/internal/apps"
 	"diogenes/internal/ffm"
-	"diogenes/internal/proc"
 	"diogenes/internal/profiler"
 	"diogenes/internal/simtime"
 )
@@ -47,37 +46,16 @@ var paperTable1 = map[string]struct {
 }
 
 // RunApp executes the full FFM pipeline on one modelled application at the
-// given scale and returns the report.
+// given scale and returns the report. It is the uncached serial path; the
+// Engine offers the pooled, cached equivalent.
 func RunApp(name string, scale float64) (*ffm.Report, error) {
-	spec, err := apps.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	cfg := ffm.DefaultConfig()
-	cfg.Factory = spec.Factory()
-	return ffm.Run(spec.New(scale, apps.Original), cfg)
+	return serialEngine.RunApp(name, scale)
 }
 
 // ActualReduction measures the real benefit of the paper's fix: it runs the
 // original and fixed builds uninstrumented and returns the runtime delta.
 func ActualReduction(name string, scale float64) (orig, fixed simtime.Duration, err error) {
-	spec, err := apps.ByName(name)
-	if err != nil {
-		return 0, 0, err
-	}
-	factory := spec.Factory()
-	for _, v := range []apps.Variant{apps.Original, apps.Fixed} {
-		p := factory.New()
-		if e := proc.SafeRun(spec.New(scale, v), p); e != nil {
-			return 0, 0, fmt.Errorf("experiments: %s(%v): %w", name, v, e)
-		}
-		if v == apps.Original {
-			orig = p.ExecTime()
-		} else {
-			fixed = p.ExecTime()
-		}
-	}
-	return orig, fixed, nil
+	return serialEngine.ActualReduction(name, scale)
 }
 
 // AddressedEstimate extracts, from a report, the estimate for exactly the
@@ -140,31 +118,16 @@ func AddressedEstimate(name string, rep *ffm.Report) (simtime.Duration, error) {
 
 // Table1 regenerates Table 1 at the given workload scale.
 func Table1(scale float64) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, spec := range apps.Registry() {
-		row, err := Table1For(spec.Name, scale)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
-	}
-	return rows, nil
+	return serialEngine.Table1(scale)
 }
 
 // Table1For computes one application's Table 1 row.
 func Table1For(name string, scale float64) (*Table1Row, error) {
-	rep, err := RunApp(name, scale)
-	if err != nil {
-		return nil, err
-	}
-	est, err := AddressedEstimate(name, rep)
-	if err != nil {
-		return nil, err
-	}
-	orig, fixed, err := ActualReduction(name, scale)
-	if err != nil {
-		return nil, err
-	}
+	return serialEngine.Table1For(name, scale)
+}
+
+// table1Assemble builds the row from the measured quantities.
+func table1Assemble(name string, rep *ffm.Report, est, orig, fixed simtime.Duration) *Table1Row {
 	actual := orig - fixed
 	row := &Table1Row{
 		App:          name,
@@ -186,7 +149,7 @@ func Table1For(name string, scale float64) (*Table1Row, error) {
 		row.PaperEstPct = p.estPct
 		row.PaperActPct = p.actPct
 	}
-	return row, nil
+	return row
 }
 
 // NVProfConfigForScale scales the profiler's activity-record limit with the
@@ -223,6 +186,12 @@ type Table2Row struct {
 
 // Table2For regenerates one application's section of Table 2.
 func Table2For(name string, scale float64) ([]Table2Row, error) {
+	return table2For(name, scale, serialEngine)
+}
+
+// table2For runs the three tools for one application, sourcing the
+// Diogenes report from the engine (pooled and cached when it is).
+func table2For(name string, scale float64, e *Engine) ([]Table2Row, error) {
 	spec, err := apps.ByName(name)
 	if err != nil {
 		return nil, err
@@ -238,7 +207,7 @@ func Table2For(name string, scale float64) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := RunApp(name, scale)
+	rep, err := e.RunApp(name, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -336,21 +305,5 @@ type AutofixRow struct {
 // AutofixTable measures, per application, how the automatic correction
 // compares to the paper's manual fix.
 func AutofixTable(scale float64, apply func(name string, scale float64) (*AutofixRow, error)) ([]AutofixRow, error) {
-	var rows []AutofixRow
-	for _, spec := range apps.Registry() {
-		row, err := apply(spec.Name, scale)
-		if err != nil {
-			return nil, err
-		}
-		orig, fixed, err := ActualReduction(spec.Name, scale)
-		if err != nil {
-			return nil, err
-		}
-		row.ManualActual = orig - fixed
-		if orig > 0 {
-			row.ManualActualPct = 100 * float64(row.ManualActual) / float64(orig)
-		}
-		rows = append(rows, *row)
-	}
-	return rows, nil
+	return serialEngine.AutofixTable(scale, apply)
 }

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/ffm"
+	"diogenes/internal/simtime"
+)
+
+// FuzzCacheKey probes the content-addressed key construction: it must never
+// panic, must be deterministic, and — because every variable-width field is
+// length-prefixed — two tuples differing in any component must never
+// collide, even when one component's bytes could be re-split to spell the
+// other tuple (the classic "ab"+"c" vs "a"+"bc" ambiguity).
+func FuzzCacheKey(f *testing.F) {
+	f.Add("cumf_als", 0.1, int64(0), int64(50), "cuibm", 0.1)
+	f.Add("", 0.0, int64(1), int64(0), "x", -1.5)
+	f.Add("ab", 1.0, int64(2), int64(9), "a", 1.0)
+	f.Fuzz(func(t *testing.T, app string, scale float64, variant, probe int64,
+		app2 string, scale2 float64) {
+		cfg := ffm.DefaultConfig()
+		cfg.Overheads.Stage3Probe = simtime.Duration(probe)
+		v := apps.Variant(variant)
+
+		k1, ok := CacheKey(app, scale, v, cfg)
+		if !ok {
+			t.Fatal("plain config reported uncachable")
+		}
+		if k2, _ := CacheKey(app, scale, v, cfg); k2 != k1 {
+			t.Fatalf("key not deterministic: %s vs %s", k1, k2)
+		}
+		if len(k1) != 64 {
+			t.Fatalf("key is not a sha256 hex digest: %q", k1)
+		}
+
+		// A tuple differing in app or scale must produce a different key.
+		if app2 != app || scale2 != scale {
+			if k3, _ := CacheKey(app2, scale2, v, cfg); k3 == k1 {
+				t.Fatalf("distinct tuples collided: (%q,%v) vs (%q,%v)",
+					app, scale, app2, scale2)
+			}
+		}
+
+		// Workers must never influence the key.
+		withWorkers := cfg
+		withWorkers.Workers = int(variant%16) + 2
+		if k4, _ := CacheKey(app, scale, v, withWorkers); k4 != k1 {
+			t.Fatal("Workers leaked into the cache key")
+		}
+	})
+}

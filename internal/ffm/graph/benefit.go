@@ -113,8 +113,36 @@ func removeMemoryTransfer(g *Graph, i int) simtime.Duration {
 // must be the sequence members in chain order (identified by ID in g); the
 // evaluation works on a clone and returns per-node realized benefits.
 func SequenceBenefit(g *Graph, nodes []*Node, opts Options) Result {
-	work := g.Clone()
-	member := make(map[int]bool, len(nodes))
+	return NewSequenceEvaluator(g).Evaluate(nodes, opts)
+}
+
+// SequenceEvaluator runs carry-forward sequence evaluations against one
+// source graph, reusing a single scratch clone across calls. The per-call
+// cost drops from a full graph copy (the dominant allocation in stage-5
+// analysis, where every candidate sequence is evaluated) to an in-place
+// value reset. Not safe for concurrent use; each goroutine needs its own.
+type SequenceEvaluator struct {
+	src     *Graph
+	scratch *Graph
+	member  map[int]bool
+}
+
+// NewSequenceEvaluator prepares an evaluator for g. The graph must not be
+// mutated while the evaluator is in use.
+func NewSequenceEvaluator(g *Graph) *SequenceEvaluator {
+	return &SequenceEvaluator{src: g, member: make(map[int]bool)}
+}
+
+// Evaluate is SequenceBenefit against the evaluator's source graph.
+func (e *SequenceEvaluator) Evaluate(nodes []*Node, opts Options) Result {
+	if e.scratch == nil {
+		e.scratch = e.src.Clone()
+	} else {
+		e.scratch.resetFrom(e.src)
+	}
+	work, g := e.scratch, e.src
+	clear(e.member)
+	member := e.member
 	for _, n := range nodes {
 		member[n.ID] = true
 	}

@@ -146,17 +146,35 @@ func (g *Graph) AddGPU(n *Node) *Node {
 // subset of operations does not require additional data collection" (§5.1).
 func (g *Graph) Clone() *Graph {
 	out := &Graph{ExecTime: g.ExecTime}
+	// Nodes live in one backing array per chain: a clone costs three
+	// allocations regardless of graph size, which matters because every
+	// benefit evaluation starts with one.
+	cpu := make([]Node, len(g.CPU))
 	out.CPU = make([]*Node, len(g.CPU))
 	for i, n := range g.CPU {
-		cp := *n
-		out.CPU[i] = &cp
+		cpu[i] = *n
+		out.CPU[i] = &cpu[i]
 	}
+	gpuNodes := make([]Node, len(g.GPU))
 	out.GPU = make([]*Node, len(g.GPU))
 	for i, n := range g.GPU {
-		cp := *n
-		out.GPU[i] = &cp
+		gpuNodes[i] = *n
+		out.GPU[i] = &gpuNodes[i]
 	}
 	return out
+}
+
+// resetFrom restores g's node values from src, which must be a graph of the
+// same shape (a Clone of src). It allocates nothing, so an evaluator can
+// reuse one scratch clone across many evaluations.
+func (g *Graph) resetFrom(src *Graph) {
+	g.ExecTime = src.ExecTime
+	for i, n := range src.CPU {
+		*g.CPU[i] = *n
+	}
+	for i, n := range src.GPU {
+		*g.GPU[i] = *n
+	}
 }
 
 // ProblematicNodes returns the CPU nodes carrying a problem, in chain order.

@@ -120,6 +120,7 @@ func groupBy(g *Graph, opts Options, kind GroupKind, keyer func(*Node) (key, lab
 // descending benefit.
 func Sequences(g *Graph, opts Options) []Group {
 	var out []Group
+	eval := NewSequenceEvaluator(g)
 	i := 0
 	for i < len(g.CPU) {
 		if !g.CPU[i].Problematic() {
@@ -139,7 +140,7 @@ func Sequences(g *Graph, opts Options) []Group {
 			}
 			j++
 		}
-		res := SequenceBenefit(g, members, opts)
+		res := eval.Evaluate(members, opts)
 		grp := Group{
 			Kind:    Sequence,
 			Key:     fmt.Sprintf("seq@%d", members[0].ID),

@@ -1,0 +1,68 @@
+package ffm
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+)
+
+// jsonReport is the serialized form of a full pipeline Report: every
+// collected artifact — baseline, annotated trace, device-operation log,
+// stage costs and the stage-5 analysis — in one deterministic document.
+// The determinism harness compares serial and parallel pipeline executions
+// byte-for-byte on this encoding, so it must contain no map iteration
+// order, pointers, or wall-clock values (encoding/json sorts map keys,
+// which covers the baseline's per-function sync counts).
+type jsonReport struct {
+	App                string           `json:"app"`
+	UninstrumentedTime simtime.Duration `json:"uninstrumentedTime"`
+	Stage1Time         simtime.Duration `json:"stage1Time"`
+	Stage2Time         simtime.Duration `json:"stage2Time"`
+	Stage3Time         simtime.Duration `json:"stage3Time"`
+	Stage4Time         simtime.Duration `json:"stage4Time"`
+	CollectionCost     simtime.Duration `json:"collectionCost"`
+	OverheadMultiple   float64          `json:"overheadMultiple"`
+	Baseline           *BaselineResult  `json:"baseline,omitempty"`
+	Trace              json.RawMessage  `json:"trace,omitempty"`
+	DeviceOps          []*gpu.Op        `json:"deviceOps,omitempty"`
+	Analysis           json.RawMessage  `json:"analysis,omitempty"`
+}
+
+// WriteJSON exports the complete report in the tool's JSON format. The
+// encoding is deterministic: two Reports produced by identical pipelines —
+// serial or parallel, in any stage interleaving — serialize to identical
+// bytes.
+func (r *Report) WriteJSON(w io.Writer) error {
+	doc := jsonReport{
+		App:                r.App,
+		UninstrumentedTime: r.UninstrumentedTime,
+		Stage1Time:         r.Stage1Time,
+		Stage2Time:         r.Stage2Time,
+		Stage3Time:         r.Stage3Time,
+		Stage4Time:         r.Stage4Time,
+		CollectionCost:     r.CollectionCost(),
+		OverheadMultiple:   r.OverheadMultiple(),
+		Baseline:           r.Baseline,
+		DeviceOps:          r.DeviceOps,
+	}
+	if r.Trace != nil {
+		var buf bytes.Buffer
+		if err := r.Trace.WriteJSON(&buf); err != nil {
+			return err
+		}
+		doc.Trace = buf.Bytes()
+	}
+	if r.Analysis != nil {
+		var buf bytes.Buffer
+		if err := r.Analysis.WriteJSON(&buf); err != nil {
+			return err
+		}
+		doc.Analysis = buf.Bytes()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}

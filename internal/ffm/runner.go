@@ -1,10 +1,12 @@
 package ffm
 
 import (
+	"context"
 	"fmt"
 
 	"diogenes/internal/gpu"
 	"diogenes/internal/proc"
+	"diogenes/internal/sched"
 	"diogenes/internal/simtime"
 	"diogenes/internal/trace"
 )
@@ -14,6 +16,13 @@ type Config struct {
 	Factory   proc.Factory
 	Overheads Overheads
 	Analysis  AnalysisOptions
+	// Workers bounds how many collection stages run concurrently once the
+	// stage-1 baseline exists. 0 or 1 keeps the historical serial order;
+	// 2 or more runs stage 2 (detailed tracing) in parallel with stages
+	// 3→4 (memory tracing, then sync-use). Every stage executes the
+	// application in its own fresh process on its own virtual clock, so
+	// the report is byte-identical regardless of Workers.
+	Workers int
 }
 
 // DefaultConfig returns the standard tool configuration.
@@ -95,42 +104,110 @@ func Run(app proc.App, cfg Config) (*Report, error) {
 	rep := &Report{App: app.Name()}
 
 	// Reference run: completely uninstrumented.
-	p := cfg.Factory.New()
-	if err := proc.SafeRun(app, p); err != nil {
-		return nil, fmt.Errorf("ffm: uninstrumented run of %s: %w", app.Name(), err)
+	reference := func(context.Context) error {
+		p := cfg.Factory.New()
+		if err := proc.SafeRun(app, p); err != nil {
+			return fmt.Errorf("ffm: uninstrumented run of %s: %w", app.Name(), err)
+		}
+		rep.UninstrumentedTime = p.ExecTime()
+		rep.DeviceOps = p.Dev.Ops()
+		return nil
 	}
-	rep.UninstrumentedTime = p.ExecTime()
-	rep.DeviceOps = p.Dev.Ops()
-
-	base, err := RunBaseline(app, cfg.Factory, cfg.Overheads)
-	if err != nil {
+	// Stage 1: discovery + baseline. Independent of the reference run (both
+	// start fresh processes), so the two overlap when Workers allows.
+	var base *BaselineResult
+	baseline := func(context.Context) error {
+		var err error
+		base, err = RunBaseline(app, cfg.Factory, cfg.Overheads)
+		return err
+	}
+	if cfg.Workers <= 1 {
+		if err := reference(nil); err != nil {
+			return nil, err
+		}
+		if err := baseline(nil); err != nil {
+			return nil, err
+		}
+	} else if err := sched.Go(context.Background(), 2, reference, baseline); err != nil {
 		return nil, err
 	}
 	rep.Baseline = base
 	rep.Stage1Time = base.ExecTime
 
-	stage2, err := RunDetailedTracing(app, cfg.Factory, base, cfg.Overheads)
+	stage2, stage4, err := runCollection(app, cfg, base)
 	if err != nil {
 		return nil, err
 	}
 	rep.Stage2Time = stage2.RawExecTime
-
-	stage3, err := RunMemoryTracing(app, cfg.Factory, base, cfg.Overheads)
-	if err != nil {
-		return nil, err
-	}
-	rep.Stage3Time = stage3.RawExecTime
-
-	stage4, stage4Time, err := RunSyncUse(app, cfg.Factory, base, stage3, cfg.Overheads)
-	if err != nil {
-		return nil, err
-	}
-	rep.Stage4Time = stage4Time
+	rep.Stage3Time = stage4.stage3Raw
+	rep.Stage4Time = stage4.execTime
 
 	// Use the lightweight stage-2 timings for the benefit model, keeping
 	// the stage-3/4 problem annotations.
-	MatchStage2Timing(stage4, stage2)
-	rep.Trace = stage4
-	rep.Analysis = Analyze(stage4, cfg.Analysis)
+	MatchStage2Timing(stage4.run, stage2)
+	rep.Trace = stage4.run
+	rep.Analysis = Analyze(stage4.run, cfg.Analysis)
 	return rep, nil
+}
+
+// stage4Result bundles the stage-3→4 chain's outputs: the annotated run,
+// the stage-4 virtual execution time, and stage 3's raw run time for the
+// §5.3 overhead accounting.
+type stage4Result struct {
+	run       *trace.Run
+	execTime  simtime.Duration
+	stage3Raw simtime.Duration
+}
+
+// runCollection executes the post-baseline collection stages. Stage 2
+// depends only on the baseline, and stage 4 depends only on stage 3, so
+// with cfg.Workers > 1 the two chains — stage 2, and stage 3 followed by
+// stage 4 — run concurrently on the sched engine. Each stage executes the
+// application in a fresh process, so stage outputs never depend on which
+// chain ran first.
+func runCollection(app proc.App, cfg Config, base *BaselineResult) (*trace.Run, *stage4Result, error) {
+	stage34 := func() (*stage4Result, error) {
+		stage3, err := RunMemoryTracing(app, cfg.Factory, base, cfg.Overheads)
+		if err != nil {
+			return nil, err
+		}
+		run, execTime, err := RunSyncUse(app, cfg.Factory, base, stage3, cfg.Overheads)
+		if err != nil {
+			return nil, err
+		}
+		return &stage4Result{run: run, execTime: execTime, stage3Raw: stage3.RawExecTime}, nil
+	}
+
+	if cfg.Workers <= 1 {
+		stage2, err := RunDetailedTracing(app, cfg.Factory, base, cfg.Overheads)
+		if err != nil {
+			return nil, nil, err
+		}
+		s4, err := stage34()
+		if err != nil {
+			return nil, nil, err
+		}
+		return stage2, s4, nil
+	}
+
+	var (
+		stage2 *trace.Run
+		s4     *stage4Result
+	)
+	err := sched.Go(context.Background(), 2,
+		func(context.Context) error {
+			var err error
+			stage2, err = RunDetailedTracing(app, cfg.Factory, base, cfg.Overheads)
+			return err
+		},
+		func(context.Context) error {
+			var err error
+			s4, err = stage34()
+			return err
+		},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stage2, s4, nil
 }

@@ -92,6 +92,7 @@ func (a *Analysis) StaticSequences() []StaticSequence {
 	}
 
 	out := make([]StaticSequence, 0, len(folds))
+	eval := graph.NewSequenceEvaluator(a.Graph)
 	for _, key := range order {
 		f := folds[key]
 		s := f.seq
@@ -99,7 +100,7 @@ func (a *Analysis) StaticSequences() []StaticSequence {
 		for _, dyn := range f.instances {
 			s.nodes = append(s.nodes, dyn.Nodes...)
 		}
-		res := graph.SequenceBenefit(a.Graph, s.nodes, a.Opts.Graph)
+		res := eval.Evaluate(s.nodes, a.Opts.Graph)
 		s.Benefit = res.Total
 		for _, nb := range res.PerNode {
 			if idx, ok := f.perPoint[pointKey(nb.Node)]; ok {

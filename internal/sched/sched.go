@@ -1,0 +1,181 @@
+// Package sched is the execution engine behind the tool's parallel paths: a
+// bounded worker pool with first-error cancellation, panic containment and
+// per-task timing.
+//
+// The FFM pipeline and the evaluation suites are embarrassingly parallel at
+// two levels — collection stages that depend only on the stage-1 baseline,
+// and experiment applications that share nothing at all — but correctness
+// demands more than `go` statements: a failing task must stop work that is
+// no longer needed, a panicking task must not take the process down, and
+// results must come back in a deterministic order regardless of which
+// worker finished first. Pool provides exactly that contract; every
+// simulated run stays deterministic because each task executes the target
+// application in its own fresh process on its own virtual clock.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one unit of work submitted to a Pool.
+type Task struct {
+	// Name labels the task in errors and results.
+	Name string
+	// Fn does the work. It should honour ctx cancellation promptly if it
+	// is long-running, but the pool does not require it: cancellation only
+	// prevents *unstarted* tasks from running.
+	Fn func(ctx context.Context) error
+}
+
+// Result reports one task's outcome. Results are returned in submission
+// order, independent of the order workers finished in.
+type Result struct {
+	Name string
+	// Err is nil on success, the task's own error, a *PanicError if the
+	// task panicked, or an error wrapping ErrSkipped if an earlier failure
+	// cancelled the run before the task started.
+	Err error
+	// Elapsed is the wall-clock time the task's Fn ran for (zero for
+	// skipped tasks). It is diagnostic only — all simulation timing is
+	// virtual — so no determinism guarantee attaches to it.
+	Elapsed time.Duration
+}
+
+// ErrSkipped marks tasks that never started because the run was cancelled
+// by an earlier failure.
+var ErrSkipped = errors.New("sched: task skipped after cancellation")
+
+// PanicError is the error reported for a task whose Fn panicked. The pool
+// contains the panic instead of crashing the process: the experiment
+// suites run many independent pipelines, and one broken workload must not
+// destroy the results of the others.
+type PanicError struct {
+	Task  string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %q panicked: %v", e.Task, e.Value)
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; call New.
+// A Pool is stateless between Run calls and safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers tasks concurrently.
+// workers == 0 selects GOMAXPROCS; negative counts are rejected.
+func New(workers int) (*Pool, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("sched: negative worker count %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}, nil
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes the tasks on the pool's workers and blocks until every
+// started task has finished. The first failure (error or panic) cancels the
+// run: tasks not yet started are skipped and reported with ErrSkipped.
+// Results come back in submission order; the returned error is the first
+// failure observed (by completion time), or nil if every task succeeded.
+//
+// A nil ctx is treated as context.Background.
+func (p *Pool) Run(ctx context.Context, tasks ...Task) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(tasks))
+	for i, t := range tasks {
+		results[i].Name = t.Name
+	}
+
+	var (
+		firstErr  error
+		firstOnce sync.Once
+	)
+	fail := func(err error) {
+		firstOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	indexes := make(chan int, len(tasks))
+	for i := range tasks {
+		indexes <- i
+	}
+	close(indexes)
+
+	workers := p.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if err := runCtx.Err(); err != nil {
+					results[i].Err = fmt.Errorf("%w (task %q): %w", ErrSkipped, tasks[i].Name, context.Cause(runCtx))
+					continue
+				}
+				results[i].Err = p.runOne(runCtx, tasks[i], &results[i].Elapsed)
+				if results[i].Err != nil {
+					fail(results[i].Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// runOne executes a single task, converting a panic into a *PanicError.
+func (p *Pool) runOne(ctx context.Context, t Task, elapsed *time.Duration) (err error) {
+	if t.Fn == nil {
+		return fmt.Errorf("sched: task %q has no function", t.Name)
+	}
+	start := time.Now()
+	defer func() {
+		*elapsed = time.Since(start)
+		if v := recover(); v != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Task: t.Name, Value: v, Stack: buf}
+		}
+	}()
+	return t.Fn(ctx)
+}
+
+// Go runs fns as anonymous tasks on a pool of the given width and returns
+// the first error — the fire-and-join convenience used by callers that need
+// structured results no finer than "did everything succeed".
+func Go(ctx context.Context, workers int, fns ...func(ctx context.Context) error) error {
+	pool, err := New(workers)
+	if err != nil {
+		return err
+	}
+	tasks := make([]Task, len(fns))
+	for i, fn := range fns {
+		tasks[i] = Task{Name: fmt.Sprintf("task-%d", i), Fn: fn}
+	}
+	_, err = pool.Run(ctx, tasks...)
+	return err
+}

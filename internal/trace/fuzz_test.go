@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"diogenes/internal/simtime"
 )
 
 // FuzzReadJSON feeds arbitrary bytes to the trace reader: it must never
@@ -34,6 +36,68 @@ func FuzzReadJSON(f *testing.F) {
 		if len(again.Records) != len(run.Records) || again.App != run.App {
 			t.Fatalf("round trip changed shape: %d/%q vs %d/%q",
 				len(again.Records), again.App, len(run.Records), run.App)
+		}
+	})
+}
+
+// FuzzRunRoundTrip builds a Run from fuzzed fields and asserts the JSON
+// export/import cycle is lossless and stable: serialize → parse → serialize
+// must yield byte-identical output, and the parsed run must preserve every
+// fuzzed field. This is the interchange guarantee the paper leans on ("data
+// is stored in a standard format that can be read by other tools").
+func FuzzRunRoundTrip(f *testing.F) {
+	f.Add("cumf_als", 2, int64(100), int64(7), "cudaMemcpy", int64(3), int64(9), true, "deadbeef")
+	f.Add("", 0, int64(0), int64(0), "", int64(0), int64(0), false, "")
+	f.Add("app\x00\xff", -5, int64(-1), int64(1<<40), "cudaFree", int64(-7), int64(42), true, "  ")
+	f.Fuzz(func(t *testing.T, app string, stage int, execTime, calls int64,
+		fn string, entry, exit int64, dup bool, hash string) {
+		// JSON interchange is defined over valid UTF-8; the encoder maps
+		// anything else to U+FFFD, which is lossy by design.
+		app = strings.ToValidUTF8(app, "\uFFFD")
+		fn = strings.ToValidUTF8(fn, "\uFFFD")
+		hash = strings.ToValidUTF8(hash, "\uFFFD")
+		run := &Run{
+			App:        app,
+			Stage:      stage,
+			ExecTime:   simtime.Duration(execTime),
+			TotalCalls: calls,
+			SyncFuncs:  []string{fn},
+			Records: []Record{{
+				Seq:       1,
+				Func:      fn,
+				Class:     ClassSync,
+				Entry:     simtime.Time(entry),
+				Exit:      simtime.Time(exit),
+				Duplicate: dup,
+				Hash:      hash,
+			}},
+		}
+		var first bytes.Buffer
+		if err := run.WriteJSON(&first); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		parsed, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if parsed.App != app || parsed.Stage != stage ||
+			parsed.ExecTime != simtime.Duration(execTime) || parsed.TotalCalls != calls {
+			t.Fatalf("header fields changed in round trip: %+v", parsed)
+		}
+		if len(parsed.Records) != 1 {
+			t.Fatalf("record count changed: %d", len(parsed.Records))
+		}
+		rec := parsed.Records[0]
+		if rec.Func != fn || rec.Entry != simtime.Time(entry) ||
+			rec.Exit != simtime.Time(exit) || rec.Duplicate != dup || rec.Hash != hash {
+			t.Fatalf("record changed in round trip: %+v", rec)
+		}
+		var second bytes.Buffer
+		if err := parsed.WriteJSON(&second); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip not byte-stable:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
 		}
 	})
 }
