@@ -13,6 +13,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	"diogenes"
 	"diogenes/internal/apps"
@@ -23,6 +24,7 @@ import (
 	"diogenes/internal/ffm/graph"
 	"diogenes/internal/hashstore"
 	"diogenes/internal/interpose"
+	"diogenes/internal/obs"
 	"diogenes/internal/profiler"
 	"diogenes/internal/simtime"
 	"diogenes/internal/trace"
@@ -549,5 +551,38 @@ func BenchmarkTable1ThenTable2Cached(b *testing.B) {
 		if hits == 0 {
 			b.Fatal("cache produced no hits")
 		}
+	}
+}
+
+// --- Self-measurement layer ---------------------------------------------------
+
+// BenchmarkObsOverhead quantifies what the observability layer itself costs:
+// the same pipeline runs with and without an attached observer, interleaved
+// so machine drift cancels, and the wall-clock difference is reported as
+// overhead-%. The layer's budget is <5% — span creation is a handful of
+// small allocations per stage and every hot-path event is a cached-pointer
+// atomic. (The tool that measures other tools' overhead should know its own.)
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(o *obs.Observer) time.Duration {
+		eng := &experiments.Engine{Workers: 1} // no cache: every run is a real run
+		eng.SetObserver(o)
+		start := time.Now()
+		if _, err := eng.RunApp("rodinia_gaussian", 0.05); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm up both paths once so neither pays first-run costs.
+	run(nil)
+	run(obs.New("diogenes"))
+	var plain, observed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain += run(nil)
+		observed += run(obs.New("diogenes"))
+	}
+	b.StopTimer()
+	if plain > 0 {
+		b.ReportMetric(100*(float64(observed)-float64(plain))/float64(plain), "overhead-%")
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"diogenes/internal/apps"
@@ -16,6 +19,7 @@ import (
 	"diogenes/internal/experiments"
 	"diogenes/internal/ffm"
 	"diogenes/internal/interpose"
+	"diogenes/internal/obs"
 	"diogenes/internal/report"
 	"diogenes/internal/timeline"
 	"diogenes/internal/trace"
@@ -28,6 +32,10 @@ import (
 func Main(args []string, stdout, stderr io.Writer) int {
 	globals := newFlagSet("diogenes")
 	parallel := globals.Int("parallel", 1, "worker count for experiment suites (0 = all cores)")
+	tracePath := globals.String("trace", "", "export a Chrome trace of the invocation's pipeline spans")
+	metricsPath := globals.String("metrics", "", "export the invocation's self-measurement metrics as text")
+	cpuProfile := globals.String("cpuprofile", "", "write a pprof CPU profile of the tool itself")
+	memProfile := globals.String("memprofile", "", "write a pprof heap profile of the tool itself")
 	if err := globals.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			usage(stderr)
@@ -46,10 +54,49 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "diogenes: -parallel %d: worker count cannot be negative\n", *parallel)
 		return 2
 	}
+
+	// Self-profiling of the tool process (wall-clock, via runtime/pprof) —
+	// distinct from the virtual-time self-measurement below. No-ops unless
+	// the flags are set.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "diogenes: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "diogenes: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "diogenes: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "diogenes: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	// One engine for the whole invocation: every sub-result a command
 	// needs twice (table2 and autofix both re-run the table1 pipelines)
-	// comes from the content-addressed report cache instead.
+	// comes from the content-addressed report cache instead. The observer
+	// rides along through every layer; recording is virtual-time-neutral,
+	// so attaching it unconditionally cannot change any command's output.
 	eng := experiments.NewEngine(*parallel)
+	o := obs.New("diogenes")
+	eng.SetObserver(o)
 	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
@@ -73,6 +120,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = Verify(stdout, eng, rest)
 	case "discover":
 		err = Discover(stdout)
+	case "obs":
+		err = Obs(stdout, rest)
 	case "help", "-h", "--help":
 		usage(stderr)
 	default:
@@ -84,7 +133,46 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "diogenes: %v\n", err)
 		return 1
 	}
+	if code := exportObservations(stdout, stderr, o, *tracePath, *metricsPath); code != 0 {
+		return code
+	}
 	return 0
+}
+
+// exportObservations writes the invocation-level self-measurement outputs:
+// the optional global -trace/-metrics exports, plus the best-effort state
+// file `diogenes obs` reads back. Only commands that actually ran a
+// pipeline leave a non-empty observer; an empty one is never persisted.
+func exportObservations(stdout, stderr io.Writer, o *obs.Observer, tracePath, metricsPath string) int {
+	if tracePath != "" {
+		if err := writeFile(tracePath, o.Trace().Chrome().Write); err != nil {
+			fmt.Fprintf(stderr, "diogenes: -trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\npipeline span trace exported to %s\n", tracePath)
+	}
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, o.WriteSummary); err != nil {
+			fmt.Fprintf(stderr, "diogenes: -metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "self-measurement metrics exported to %s\n", metricsPath)
+	}
+	if !o.Empty() {
+		// Best-effort: a read-only filesystem must not fail the command.
+		_ = writeFile(obsStatePath(), o.WriteJSON)
+	}
+	return 0
+}
+
+// obsStatePath returns where the last run's observer state is persisted for
+// `diogenes obs`: $DIOGENES_OBS_STATE, or a fixed name under the system
+// temporary directory.
+func obsStatePath() string {
+	if p := os.Getenv("DIOGENES_OBS_STATE"); p != "" {
+		return p
+	}
+	return filepath.Join(os.TempDir(), "diogenes-last-obs.json")
 }
 
 func usage(w io.Writer) {
@@ -96,17 +184,25 @@ global flags (before the command):
                             byte-identical to serial runs: every pipeline
                             stage executes in its own simulated process on
                             its own virtual clock.
+  -trace file               export a Chrome trace_event file of the
+                            invocation's pipeline spans (Perfetto-loadable;
+                            virtual-time, byte-identical for any -parallel)
+  -metrics file             export the invocation's self-measurement
+                            (span tree, overhead report, metrics) as text
+  -cpuprofile file          write a pprof CPU profile of the tool itself
+  -memprofile file          write a pprof heap profile of the tool itself
 
 commands:
   list                      list the modelled applications
   run <app> [flags]         run the 5-stage FFM pipeline and show findings
       -scale f              workload scale (default 0.25)
       -json file            export the analysis as JSON
-      -trace file           export the annotated trace (stage-4 records)
+      -trace file           export the pipeline span trace (Chrome JSON)
+      -records file         export the annotated trace (stage-4 records)
       -timeline file        export a chrome://tracing timeline
       -md file              export a Markdown findings report
       -sub from:to          refine the top sequence to entries [from,to]
-  analyze <trace.json>      run stage 5 on a previously exported trace
+  analyze <trace.json>      run stage 5 on a previously exported records file
   table1 [-scale f]         reproduce Table 1 (estimated vs actual benefit)
   table2 [app] [-scale f]   reproduce Table 2 (NVProf vs HPCToolkit vs Diogenes)
   overhead <app> [-scale f] show the §5.3 data-collection cost breakdown
@@ -115,6 +211,10 @@ commands:
   verify [-scale f]         apply automatic corrections to every app and
                             compare against the paper's manual fixes
   discover                  run the §3.1 sync-function identification test
+  obs [flags]               pretty-print the last run's self-measurement
+      -trace file           re-export its Chrome span trace
+      -metrics file         re-export its metrics text
+      -state file           read this state file instead of the default
 `)
 }
 
@@ -148,7 +248,8 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 	fs := newFlagSet("run")
 	scale := fs.Float64("scale", 0.25, "workload scale")
 	jsonPath := fs.String("json", "", "export analysis JSON to file")
-	tracePath := fs.String("trace", "", "export annotated trace JSON to file")
+	tracePath := fs.String("trace", "", "export the pipeline span trace (Chrome JSON) to file")
+	recordsPath := fs.String("records", "", "export annotated trace records JSON to file")
 	timelinePath := fs.String("timeline", "", "export a chrome://tracing timeline to file")
 	mdPath := fs.String("md", "", "export a Markdown findings report to file")
 	sub := fs.String("sub", "", "subsequence from:to of the top sequence")
@@ -157,6 +258,11 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 	}
 	if name == "" {
 		return fmt.Errorf("run: application name expected (see 'diogenes list')")
+	}
+	if eng.Obs == nil {
+		// Direct callers (tests) may pass a bare engine; -trace and the
+		// state file still need an observer on the pipeline.
+		eng.SetObserver(obs.New("diogenes"))
 	}
 
 	rep, err := eng.RunApp(name, *scale)
@@ -219,10 +325,16 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 		fmt.Fprintf(w, "\nanalysis exported to %s\n", *jsonPath)
 	}
 	if *tracePath != "" {
-		if err := writeFile(*tracePath, rep.Trace.WriteJSON); err != nil {
+		if err := writeFile(*tracePath, eng.Obs.Trace().Chrome().Write); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "\nannotated trace exported to %s\n", *tracePath)
+		fmt.Fprintf(w, "\npipeline span trace exported to %s\n", *tracePath)
+	}
+	if *recordsPath != "" {
+		if err := writeFile(*recordsPath, rep.Trace.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nannotated trace exported to %s\n", *recordsPath)
 	}
 	if *timelinePath != "" {
 		tl := timeline.Build(rep.Trace, rep.DeviceOps)
@@ -405,6 +517,7 @@ func Random(w io.Writer, eng *experiments.Engine, args []string) error {
 	}
 	cfg := ffm.DefaultConfig()
 	cfg.Workers = eng.StageWorkers
+	cfg.Obs = eng.Obs
 	rep, err := ffm.Run(apps.NewRandomApp(*seed, *steps), cfg)
 	if err != nil {
 		return err
@@ -440,6 +553,52 @@ func Verify(w io.Writer, eng *experiments.Engine, args []string) error {
 			r.ManualActual.Seconds(), r.ManualActualPct,
 			r.AutoRealized.Seconds(), r.AutoRealizedPct, r.AutoEstimated.Seconds(),
 			r.CallsElided, guard)
+	}
+	return nil
+}
+
+// Obs pretty-prints the persisted self-measurement of the most recent
+// pipeline-running invocation, and optionally re-exports its Chrome trace
+// or metrics text.
+func Obs(w io.Writer, args []string) error {
+	fs := newFlagSet("obs")
+	tracePath := fs.String("trace", "", "re-export the Chrome span trace to file")
+	metricsPath := fs.String("metrics", "", "re-export the metrics text to file")
+	statePath := fs.String("state", "", "observer state file to read (default: last run's)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *statePath
+	if path == "" {
+		path = obsStatePath()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("obs: no recorded run at %s — run a pipeline command first (e.g. 'diogenes run rodinia_gaussian')", path)
+		}
+		return err
+	}
+	defer f.Close()
+	o, err := obs.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "self-measurement of the last run (%s)\n\n", path)
+	if err := o.WriteSummary(w); err != nil {
+		return err
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, o.Trace().Chrome().Write); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\npipeline span trace exported to %s\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, o.WriteSummary); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nself-measurement metrics exported to %s\n", *metricsPath)
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"diogenes/internal/obs"
 )
 
 func runMain(t *testing.T, args ...string) (int, string, string) {
@@ -68,10 +70,11 @@ func TestRunCommandFullOutput(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "a.json")
 	tracePath := filepath.Join(dir, "t.json")
+	recordsPath := filepath.Join(dir, "r.json")
 	tlPath := filepath.Join(dir, "tl.json")
 	code, out, errOut := runMain(t, "run", "rodinia_gaussian",
 		"-scale", "0.02", "-sub", "1:1",
-		"-json", jsonPath, "-trace", tracePath, "-timeline", tlPath)
+		"-json", jsonPath, "-trace", tracePath, "-records", recordsPath, "-timeline", tlPath)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr = %q", code, errOut)
 	}
@@ -83,6 +86,7 @@ func TestRunCommandFullOutput(t *testing.T) {
 		"Expansion of Problem",
 		"Data collection cost",
 		"analysis exported to",
+		"pipeline span trace exported to",
 		"annotated trace exported to",
 		"chrome://tracing timeline exported to",
 	} {
@@ -90,9 +94,28 @@ func TestRunCommandFullOutput(t *testing.T) {
 			t.Errorf("run output missing %q", want)
 		}
 	}
-	for _, p := range []string{jsonPath, tracePath, tlPath} {
+	for _, p := range []string{jsonPath, tracePath, recordsPath, tlPath} {
 		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
 			t.Errorf("export %s missing or empty", p)
+		}
+	}
+	// The -trace export is a Chrome trace_event file with one span per
+	// pipeline stage.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cf, err := obs.ReadChrome(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{
+		"reference", "stage1-baseline", "stage2-detailed-tracing",
+		"stage3-memory-tracing", "stage4-sync-use", "stage5-analysis",
+	} {
+		if len(cf.EventsNamed(stage)) == 0 {
+			t.Errorf("span trace missing stage %q", stage)
 		}
 	}
 }
@@ -111,11 +134,11 @@ func TestRunErrors(t *testing.T) {
 
 func TestAnalyzeRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	tracePath := filepath.Join(dir, "t.json")
-	if code, _, errOut := runMain(t, "run", "rodinia_gaussian", "-scale", "0.02", "-trace", tracePath); code != 0 {
+	recordsPath := filepath.Join(dir, "r.json")
+	if code, _, errOut := runMain(t, "run", "rodinia_gaussian", "-scale", "0.02", "-records", recordsPath); code != 0 {
 		t.Fatalf("run failed: %s", errOut)
 	}
-	code, out, errOut := runMain(t, "analyze", tracePath)
+	code, out, errOut := runMain(t, "analyze", recordsPath)
 	if code != 0 {
 		t.Fatalf("analyze failed: %s", errOut)
 	}
@@ -283,7 +306,131 @@ func TestParallelFlagUnparseable(t *testing.T) {
 
 func TestUsageMentionsParallel(t *testing.T) {
 	_, _, errOut := runMain(t, "help")
-	if !strings.Contains(errOut, "-parallel") {
-		t.Fatal("usage does not document -parallel")
+	for _, flag := range []string{"-parallel", "-trace", "-metrics", "-cpuprofile", "-memprofile", "obs"} {
+		if !strings.Contains(errOut, flag) {
+			t.Errorf("usage does not document %s", flag)
+		}
+	}
+}
+
+func TestGlobalTraceAndMetricsFlags(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("DIOGENES_OBS_STATE", filepath.Join(dir, "state.json"))
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	code, out, errOut := runMain(t,
+		"-trace", tracePath, "-metrics", metricsPath,
+		"table1", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "pipeline span trace exported to") ||
+		!strings.Contains(out, "self-measurement metrics exported to") {
+		t.Fatalf("export confirmations missing:\n%s", out)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cf, err := obs.ReadChrome(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.TraceEvents) == 0 {
+		t.Fatal("global -trace produced an empty trace")
+	}
+	// table1 runs every app; each pipeline contributes a stage-1 span.
+	if len(cf.EventsNamed("stage1-baseline")) < 4 {
+		t.Fatalf("expected one stage1 span per app, got %d", len(cf.EventsNamed("stage1-baseline")))
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"== pipeline spans ==", "== metrics ==",
+		"interpose/probe_firings", "cuda/syncs", "cache/misses", "sched/task_wall_ns",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("-metrics output missing %q", want)
+		}
+	}
+}
+
+func TestObsCommandReadsLastRun(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.json")
+	t.Setenv("DIOGENES_OBS_STATE", statePath)
+
+	// No state yet: friendly error pointing at a pipeline command.
+	code, _, errOut := runMain(t, "obs")
+	if code != 1 || !strings.Contains(errOut, "no recorded run") {
+		t.Fatalf("missing-state error wrong: code=%d stderr=%q", code, errOut)
+	}
+
+	if code, _, errOut := runMain(t, "run", "rodinia_gaussian", "-scale", "0.02"); code != 0 {
+		t.Fatalf("run failed: %s", errOut)
+	}
+	if fi, err := os.Stat(statePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("run did not persist observer state: %v", err)
+	}
+
+	reTrace := filepath.Join(dir, "re.json")
+	code, out, errOut := runMain(t, "obs", "-trace", reTrace)
+	if code != 0 {
+		t.Fatalf("obs failed: %s", errOut)
+	}
+	for _, want := range []string{
+		"self-measurement of the last run",
+		"== pipeline spans ==",
+		"rodinia_gaussian",
+		"Self-overhead",
+		"== metrics ==",
+		"pipeline span trace exported to",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("obs output missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(reTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cf, err := obs.ReadChrome(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.EventsNamed("stage4-sync-use")) == 0 {
+		t.Fatal("re-exported trace lost the pipeline spans")
+	}
+
+	// An explicit -state path overrides the default.
+	if code, out, _ := runMain(t, "obs", "-state", statePath); code != 0 || !strings.Contains(out, statePath) {
+		t.Fatalf("obs -state failed: code=%d", code)
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("DIOGENES_OBS_STATE", filepath.Join(dir, "state.json"))
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	code, _, errOut := runMain(t,
+		"-cpuprofile", cpuPath, "-memprofile", memPath,
+		"run", "rodinia_gaussian", "-scale", "0.02")
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errOut)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty", p)
+		}
+	}
+	if code, _, _ := runMain(t, "-cpuprofile", filepath.Join(dir, "no", "such", "dir", "p"), "list"); code != 1 {
+		t.Fatal("uncreatable cpuprofile path accepted")
 	}
 }

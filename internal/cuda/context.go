@@ -6,6 +6,7 @@ import (
 	"diogenes/internal/callstack"
 	"diogenes/internal/gpu"
 	"diogenes/internal/memory"
+	"diogenes/internal/obs"
 	"diogenes/internal/simtime"
 )
 
@@ -160,6 +161,13 @@ type Context struct {
 	// Collectors subtract it to report timings on the application's own
 	// timeline, the way production tools compensate for known probe cost.
 	overheadLedger simtime.Duration
+
+	// Self-measurement instruments (nil when the process is unobserved).
+	// They record virtual durations without ever advancing the clock, so
+	// attaching them cannot perturb the simulation.
+	mSyncs       *obs.Counter
+	mSyncWait    *obs.Histogram
+	mProbeCharge *obs.Counter
 }
 
 // NewContext creates a context over the given clock, device, host space and
@@ -212,6 +220,18 @@ func (c *Context) Config() Config { return c.cfg }
 
 // SetListener installs the vendor activity listener (nil to remove).
 func (c *Context) SetListener(l ActivityListener) { c.listener = l }
+
+// SetMetrics attaches a self-measurement registry: every synchronization's
+// wait duration lands in cuda/sync_wait_ns (with cuda/syncs counting
+// events), and every instrumentation charge is mirrored to
+// cuda/probe_overhead_ns. Instrument pointers are resolved once here so
+// the driver's hot path pays atomics, not map lookups. A nil registry
+// detaches.
+func (c *Context) SetMetrics(m *obs.Registry) {
+	c.mSyncs = m.Counter("cuda/syncs")
+	c.mSyncWait = m.Histogram("cuda/sync_wait_ns")
+	c.mProbeCharge = m.Counter("cuda/probe_overhead_ns")
+}
 
 // SetPayloadCapture enables copying transfer payloads into Call.Payload for
 // hashing probes (stage 3). Expensive — off by default.
@@ -335,6 +355,7 @@ func (c *Context) ChargeOverhead(d simtime.Duration) {
 	}
 	c.clock.Advance(d)
 	c.overheadLedger += d
+	c.mProbeCharge.Add(int64(d))
 }
 
 // fireEntry runs entry probes for fn.
@@ -418,6 +439,8 @@ func (c *Context) internalSync(until simtime.Time, scope SyncScope, outer *Call)
 	syncCall.SyncEnd = c.clock.Now()
 	syncCall.Exit = syncCall.SyncEnd
 	c.fireExit(FuncInternalSync, syncCall)
+	c.mSyncs.Inc()
+	c.mSyncWait.Observe(int64(syncCall.SyncEnd - syncCall.SyncStart))
 
 	outer.Scope = scope
 	outer.SyncStart = syncCall.SyncStart

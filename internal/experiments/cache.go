@@ -13,6 +13,7 @@ import (
 	"diogenes/internal/cuda"
 	"diogenes/internal/ffm"
 	"diogenes/internal/gpu"
+	"diogenes/internal/obs"
 	"diogenes/internal/simtime"
 )
 
@@ -83,6 +84,10 @@ type ReportCache struct {
 	entries map[string]*cacheEntry
 	hits    int64
 	misses  int64
+
+	mHits   *obs.Counter
+	mMisses *obs.Counter
+	mBytes  *obs.Counter
 }
 
 type cacheEntry struct {
@@ -96,6 +101,21 @@ func NewReportCache() *ReportCache {
 	return &ReportCache{entries: make(map[string]*cacheEntry)}
 }
 
+// SetMetrics mirrors the cache's hit/miss accounting to a self-measurement
+// registry (cache/hits, cache/misses) and, for each report computed through
+// the cache, the serialized report size (cache/report_bytes). Nil receiver
+// and nil registry are both no-ops.
+func (c *ReportCache) SetMetrics(m *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHits = m.Counter("cache/hits")
+	c.mMisses = m.Counter("cache/misses")
+	c.mBytes = m.Counter("cache/report_bytes")
+}
+
 // do returns the memoized value for key, computing it at most once.
 func (c *ReportCache) do(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
@@ -104,8 +124,10 @@ func (c *ReportCache) do(key string, compute func() (any, error)) (any, error) {
 		e = new(cacheEntry)
 		c.entries[key] = e
 		c.misses++
+		c.mMisses.Inc()
 	} else {
 		c.hits++
+		c.mHits.Inc()
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.val, e.err = compute() })
@@ -114,7 +136,13 @@ func (c *ReportCache) do(key string, compute func() (any, error)) (any, error) {
 
 // Report memoizes a full pipeline report.
 func (c *ReportCache) Report(key string, compute func() (*ffm.Report, error)) (*ffm.Report, error) {
-	v, err := c.do("report/"+key, func() (any, error) { return compute() })
+	v, err := c.do("report/"+key, func() (any, error) {
+		rep, err := compute()
+		if err == nil {
+			c.recordReportSize(rep)
+		}
+		return rep, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +164,30 @@ func (c *ReportCache) Runtime(key string, compute func() (simtime.Duration, erro
 		return 0, fmt.Errorf("experiments: cache key %q holds %T, not a duration", key, v)
 	}
 	return d, nil
+}
+
+// recordReportSize books a freshly computed report's serialized size on the
+// cache/report_bytes counter. The extra serialization runs only when a
+// metrics registry is attached — the unobserved path pays nothing.
+func (c *ReportCache) recordReportSize(rep *ffm.Report) {
+	c.mu.Lock()
+	bytesCounter := c.mBytes
+	c.mu.Unlock()
+	if bytesCounter == nil || rep == nil {
+		return
+	}
+	var n countingWriter
+	if err := rep.WriteJSON(&n); err == nil {
+		bytesCounter.Add(int64(n))
+	}
+}
+
+// countingWriter is an io.Writer that only counts.
+type countingWriter int64
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
 }
 
 // Stats returns the hit/miss counters and the number of distinct entries.

@@ -6,6 +6,7 @@ import (
 
 	"diogenes/internal/apps"
 	"diogenes/internal/ffm"
+	"diogenes/internal/obs"
 	"diogenes/internal/proc"
 	"diogenes/internal/sched"
 	"diogenes/internal/simtime"
@@ -27,6 +28,19 @@ type Engine struct {
 	// Cache, when non-nil, memoizes pipeline reports and uninstrumented
 	// runtimes across Table1/Table2/autofix calls.
 	Cache *ReportCache
+	// Obs, when non-nil, receives self-measurement from every layer the
+	// engine drives: pipeline spans and overhead reports (via
+	// ffm.Config.Obs), scheduler telemetry (via pool metrics), and cache
+	// hit/miss counters. Cached pipeline results record no spans — a hit
+	// means no run happened, and the trace says so honestly.
+	Obs *obs.Observer
+}
+
+// SetObserver attaches an observer to the engine (nil detaches), wiring it
+// through the pipeline configuration, the worker pools and the cache.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	e.Obs = o
+	e.Cache.SetMetrics(o.Metrics())
 }
 
 // NewEngine returns an engine of the given width with a fresh cache.
@@ -46,7 +60,12 @@ var serialEngine = &Engine{Workers: 1}
 
 // pool builds the engine's worker pool.
 func (e *Engine) pool() (*sched.Pool, error) {
-	return sched.New(e.Workers)
+	p, err := sched.New(e.Workers)
+	if err != nil {
+		return nil, err
+	}
+	p.SetMetrics(e.Obs.Metrics())
+	return p, nil
 }
 
 // config assembles the ffm configuration for one spec.
@@ -54,6 +73,7 @@ func (e *Engine) config(spec apps.Spec) ffm.Config {
 	cfg := ffm.DefaultConfig()
 	cfg.Factory = spec.Factory()
 	cfg.Workers = e.StageWorkers
+	cfg.Obs = e.Obs
 	return cfg
 }
 
@@ -111,7 +131,7 @@ func (e *Engine) ActualReduction(name string, scale float64) (orig, fixed simtim
 		}
 	}
 	if e.StageWorkers > 1 {
-		err = sched.Go(context.Background(), 2, measureInto(0), measureInto(1))
+		err = sched.GoMetrics(context.Background(), 2, e.Obs.Metrics(), measureInto(0), measureInto(1))
 	} else {
 		for i := range variants {
 			if err = measureInto(i)(nil); err != nil {
@@ -145,7 +165,7 @@ func (e *Engine) Table1For(name string, scale float64) (*Table1Row, error) {
 		return err
 	}
 	if e.StageWorkers > 1 {
-		if err := sched.Go(context.Background(), 2, pipeline, reduction); err != nil {
+		if err := sched.GoMetrics(context.Background(), 2, e.Obs.Metrics(), pipeline, reduction); err != nil {
 			return nil, err
 		}
 	} else {

@@ -23,6 +23,10 @@ type jsonReport struct {
 	Stage2Time         simtime.Duration `json:"stage2Time"`
 	Stage3Time         simtime.Duration `json:"stage3Time"`
 	Stage4Time         simtime.Duration `json:"stage4Time"`
+	Stage1Overhead     simtime.Duration `json:"stage1Overhead"`
+	Stage2Overhead     simtime.Duration `json:"stage2Overhead"`
+	Stage3Overhead     simtime.Duration `json:"stage3Overhead"`
+	Stage4Overhead     simtime.Duration `json:"stage4Overhead"`
 	CollectionCost     simtime.Duration `json:"collectionCost"`
 	OverheadMultiple   float64          `json:"overheadMultiple"`
 	Baseline           *BaselineResult  `json:"baseline,omitempty"`
@@ -43,6 +47,10 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Stage2Time:         r.Stage2Time,
 		Stage3Time:         r.Stage3Time,
 		Stage4Time:         r.Stage4Time,
+		Stage1Overhead:     r.Stage1Overhead,
+		Stage2Overhead:     r.Stage2Overhead,
+		Stage3Overhead:     r.Stage3Overhead,
+		Stage4Overhead:     r.Stage4Overhead,
 		CollectionCost:     r.CollectionCost(),
 		OverheadMultiple:   r.OverheadMultiple(),
 		Baseline:           r.Baseline,

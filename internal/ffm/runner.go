@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"diogenes/internal/gpu"
+	"diogenes/internal/obs"
 	"diogenes/internal/proc"
 	"diogenes/internal/sched"
 	"diogenes/internal/simtime"
@@ -23,6 +24,13 @@ type Config struct {
 	// application in its own fresh process on its own virtual clock, so
 	// the report is byte-identical regardless of Workers.
 	Workers int
+	// Obs, when non-nil, receives the run's self-measurement: one span per
+	// pipeline stage (virtual-time attributed, so the span layout is
+	// byte-identical serial vs parallel), per-subsystem metrics, and the
+	// per-application self-overhead report. A nil observer costs only nil
+	// checks; recording never advances any virtual clock, so the Report is
+	// identical with or without it.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the standard tool configuration.
@@ -62,6 +70,15 @@ type Report struct {
 	Stage2Time simtime.Duration
 	Stage3Time simtime.Duration
 	Stage4Time simtime.Duration
+
+	// Per-stage instrumentation charges: the share of each StageNTime that
+	// the tool's own probes consumed (trampolines, hashing, load/store
+	// snippets). StageNTime − StageNOverhead is the application's time on
+	// its own compensated timeline.
+	Stage1Overhead simtime.Duration
+	Stage2Overhead simtime.Duration
+	Stage3Overhead simtime.Duration
+	Stage4Overhead simtime.Duration
 }
 
 // CollectionCost is the total virtual time spent executing the application
@@ -88,6 +105,22 @@ func (r *Report) EstimatedBenefitPercent(d simtime.Duration) float64 {
 	return 100 * float64(d) / float64(r.UninstrumentedTime)
 }
 
+// SelfOverhead renders the report's §5.3 accounting as the observability
+// layer's per-application overhead record: each collection stage's raw cost
+// and probe charge against the uninstrumented reference.
+func (r *Report) SelfOverhead() *obs.SelfOverhead {
+	return &obs.SelfOverhead{
+		App:       r.App,
+		Reference: r.UninstrumentedTime,
+		Stages: []obs.StageCost{
+			{Name: "stage1-baseline", Raw: r.Stage1Time, Probe: r.Stage1Overhead},
+			{Name: "stage2-detailed-tracing", Raw: r.Stage2Time, Probe: r.Stage2Overhead},
+			{Name: "stage3-memory-tracing", Raw: r.Stage3Time, Probe: r.Stage3Overhead},
+			{Name: "stage4-sync-use", Raw: r.Stage4Time, Probe: r.Stage4Overhead},
+		},
+	}
+}
+
 // Run executes the full five-stage FFM pipeline on the application: an
 // uninstrumented reference run, stage 1 (discovery + baseline), stage 2
 // (detailed tracing), stage 3 (memory tracing and data hashing), stage 4
@@ -101,25 +134,44 @@ func (r *Report) EstimatedBenefitPercent(d simtime.Duration) float64 {
 // analysis input while halving the number of runs. The overhead model
 // accounts for the combined probes.
 func Run(app proc.App, cfg Config) (*Report, error) {
+	o := cfg.Obs
+	mets := o.Metrics()
+	runSpan := o.Root().Child(0, "app", app.Name())
+	defer runSpan.End()
+
 	rep := &Report{App: app.Name()}
 
 	// Reference run: completely uninstrumented.
 	reference := func(context.Context) error {
+		sp := runSpan.Child(0, "stage", "reference")
+		defer sp.End()
 		p := cfg.Factory.New()
+		p.Ctx.SetMetrics(mets)
 		if err := proc.SafeRun(app, p); err != nil {
 			return fmt.Errorf("ffm: uninstrumented run of %s: %w", app.Name(), err)
 		}
 		rep.UninstrumentedTime = p.ExecTime()
 		rep.DeviceOps = p.Dev.Ops()
+		sp.SetVirtual(rep.UninstrumentedTime)
+		sp.SetArg("device_ops", len(rep.DeviceOps))
+		addDeviceRows(sp, rep.DeviceOps)
 		return nil
 	}
 	// Stage 1: discovery + baseline. Independent of the reference run (both
 	// start fresh processes), so the two overlap when Workers allows.
 	var base *BaselineResult
 	baseline := func(context.Context) error {
+		sp := runSpan.Child(1, "stage", "stage1-baseline")
+		defer sp.End()
 		var err error
-		base, err = RunBaseline(app, cfg.Factory, cfg.Overheads)
-		return err
+		base, err = runBaseline(app, cfg.Factory, cfg.Overheads, mets)
+		if err != nil {
+			return err
+		}
+		sp.SetVirtual(base.ExecTime)
+		sp.SetArg("sync_events", base.SyncEvents)
+		sp.SetArg("probe_ns", int64(base.ProbeOverhead))
+		return nil
 	}
 	if cfg.Workers <= 1 {
 		if err := reference(nil); err != nil {
@@ -128,35 +180,106 @@ func Run(app proc.App, cfg Config) (*Report, error) {
 		if err := baseline(nil); err != nil {
 			return nil, err
 		}
-	} else if err := sched.Go(context.Background(), 2, reference, baseline); err != nil {
+	} else if err := sched.GoMetrics(context.Background(), 2, mets, reference, baseline); err != nil {
 		return nil, err
 	}
 	rep.Baseline = base
 	rep.Stage1Time = base.ExecTime
+	rep.Stage1Overhead = base.ProbeOverhead
 
-	stage2, stage4, err := runCollection(app, cfg, base)
+	stage2, stage4, err := runCollection(app, cfg, base, runSpan, mets)
 	if err != nil {
 		return nil, err
 	}
 	rep.Stage2Time = stage2.RawExecTime
+	rep.Stage2Overhead = stage2.RawExecTime - stage2.ExecTime
 	rep.Stage3Time = stage4.stage3Raw
+	rep.Stage3Overhead = stage4.stage3Probe
 	rep.Stage4Time = stage4.execTime
+	rep.Stage4Overhead = stage4.probe
 
 	// Use the lightweight stage-2 timings for the benefit model, keeping
 	// the stage-3/4 problem annotations.
 	MatchStage2Timing(stage4.run, stage2)
 	rep.Trace = stage4.run
+
+	s5 := runSpan.Child(5, "stage", "stage5-analysis")
 	rep.Analysis = Analyze(stage4.run, cfg.Analysis)
+	s5.SetArg("records", len(stage4.run.Records))
+	s5.SetArg("groups", len(rep.Analysis.Overview))
+	s5.End()
+
+	o.AddSelfOverhead(rep.SelfOverhead())
 	return rep, nil
 }
 
+// addDeviceRows attaches the reference run's device timeline to the stage
+// span: one child per GPU stream, pinned at the stream's first operation so
+// the Chrome export shows device activity on its own rows (tid 100+stream)
+// under the CPU pipeline. Layout depends only on virtual timestamps, so it
+// is deterministic across worker counts.
+func addDeviceRows(sp *obs.Span, ops []*gpu.Op) {
+	type extent struct {
+		lo, hi simtime.Time
+		n      int
+	}
+	streams := make(map[gpu.StreamID]*extent)
+	for _, op := range ops {
+		if op.End == simtime.Infinity {
+			continue
+		}
+		e := streams[op.Stream]
+		if e == nil {
+			e = &extent{lo: op.Start, hi: op.End}
+			streams[op.Stream] = e
+		}
+		if op.Start < e.lo {
+			e.lo = op.Start
+		}
+		if op.End > e.hi {
+			e.hi = op.End
+		}
+		e.n++
+	}
+	for id, e := range streams {
+		c := sp.Child(int(id), "gpu", fmt.Sprintf("stream %d", id))
+		c.SetRow(100 + int(id))
+		c.SetOffset(simtime.Duration(e.lo))
+		c.SetVirtual(e.hi.Sub(e.lo))
+		c.SetArg("ops", e.n)
+	}
+}
+
+// addCallBatches attaches a collection stage's driver-call records to its
+// span as fixed-size batches pinned at their (overhead-compensated) entry
+// timestamps — enough structure to see call phases in the Perfetto UI
+// without one event per call.
+func addCallBatches(sp *obs.Span, recs []trace.Record) {
+	if sp == nil {
+		return
+	}
+	const batchSize = 64
+	for i := 0; i < len(recs); i += batchSize {
+		j := i + batchSize
+		if j > len(recs) {
+			j = len(recs)
+		}
+		b := sp.Child(i/batchSize, "calls", fmt.Sprintf("calls[%d:%d]", i, j))
+		b.SetOffset(simtime.Duration(recs[i].Entry))
+		b.SetVirtual(recs[j-1].Exit.Sub(recs[i].Entry))
+		b.SetArg("records", j-i)
+	}
+}
+
 // stage4Result bundles the stage-3→4 chain's outputs: the annotated run,
-// the stage-4 virtual execution time, and stage 3's raw run time for the
-// §5.3 overhead accounting.
+// the stage-4 virtual execution time and probe charge, and stage 3's raw
+// run time and probe charge for the §5.3 overhead accounting.
 type stage4Result struct {
-	run       *trace.Run
-	execTime  simtime.Duration
-	stage3Raw simtime.Duration
+	run         *trace.Run
+	execTime    simtime.Duration
+	probe       simtime.Duration
+	stage3Raw   simtime.Duration
+	stage3Probe simtime.Duration
 }
 
 // runCollection executes the post-baseline collection stages. Stage 2
@@ -165,21 +288,53 @@ type stage4Result struct {
 // stage 4 — run concurrently on the sched engine. Each stage executes the
 // application in a fresh process, so stage outputs never depend on which
 // chain ran first.
-func runCollection(app proc.App, cfg Config, base *BaselineResult) (*trace.Run, *stage4Result, error) {
+func runCollection(app proc.App, cfg Config, base *BaselineResult, runSpan *obs.Span, mets *obs.Registry) (*trace.Run, *stage4Result, error) {
+	runStage2 := func(context.Context) (*trace.Run, error) {
+		sp := runSpan.Child(2, "stage", "stage2-detailed-tracing")
+		defer sp.End()
+		stage2, err := runDetailedTracing(app, cfg.Factory, base, cfg.Overheads, mets)
+		if err != nil {
+			return nil, err
+		}
+		sp.SetVirtual(stage2.RawExecTime)
+		sp.SetArg("records", len(stage2.Records))
+		sp.SetArg("probe_ns", int64(stage2.RawExecTime-stage2.ExecTime))
+		addCallBatches(sp, stage2.Records)
+		return stage2, nil
+	}
 	stage34 := func() (*stage4Result, error) {
-		stage3, err := RunMemoryTracing(app, cfg.Factory, base, cfg.Overheads)
+		sp3 := runSpan.Child(3, "stage", "stage3-memory-tracing")
+		stage3, err := runMemoryTracing(app, cfg.Factory, base, cfg.Overheads, mets)
+		if err != nil {
+			sp3.End()
+			return nil, err
+		}
+		sp3.SetVirtual(stage3.RawExecTime)
+		sp3.SetArg("records", len(stage3.Records))
+		sp3.SetArg("probe_ns", int64(stage3.RawExecTime-stage3.ExecTime))
+		addCallBatches(sp3, stage3.Records)
+		sp3.End()
+
+		sp4 := runSpan.Child(4, "stage", "stage4-sync-use")
+		defer sp4.End()
+		run, execTime, probe, err := runSyncUse(app, cfg.Factory, base, stage3, cfg.Overheads, mets)
 		if err != nil {
 			return nil, err
 		}
-		run, execTime, err := RunSyncUse(app, cfg.Factory, base, stage3, cfg.Overheads)
-		if err != nil {
-			return nil, err
-		}
-		return &stage4Result{run: run, execTime: execTime, stage3Raw: stage3.RawExecTime}, nil
+		sp4.SetVirtual(execTime)
+		sp4.SetArg("records", len(run.Records))
+		sp4.SetArg("probe_ns", int64(probe))
+		return &stage4Result{
+			run:         run,
+			execTime:    execTime,
+			probe:       probe,
+			stage3Raw:   stage3.RawExecTime,
+			stage3Probe: stage3.RawExecTime - stage3.ExecTime,
+		}, nil
 	}
 
 	if cfg.Workers <= 1 {
-		stage2, err := RunDetailedTracing(app, cfg.Factory, base, cfg.Overheads)
+		stage2, err := runStage2(nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -194,10 +349,10 @@ func runCollection(app proc.App, cfg Config, base *BaselineResult) (*trace.Run, 
 		stage2 *trace.Run
 		s4     *stage4Result
 	)
-	err := sched.Go(context.Background(), 2,
-		func(context.Context) error {
+	err := sched.GoMetrics(context.Background(), 2, mets,
+		func(ctx context.Context) error {
 			var err error
-			stage2, err = RunDetailedTracing(app, cfg.Factory, base, cfg.Overheads)
+			stage2, err = runStage2(ctx)
 			return err
 		},
 		func(context.Context) error {

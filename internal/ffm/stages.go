@@ -13,6 +13,7 @@ import (
 	"diogenes/internal/hashstore"
 	"diogenes/internal/interpose"
 	"diogenes/internal/memory"
+	"diogenes/internal/obs"
 	"diogenes/internal/proc"
 	"diogenes/internal/simtime"
 	"diogenes/internal/trace"
@@ -79,18 +80,29 @@ type BaselineResult struct {
 	SyncCounts map[cuda.Func]int64
 	// SyncEvents is the total number of synchronizations observed.
 	SyncEvents int64
+	// ProbeOverhead is the virtual time the stage-1 probe itself charged —
+	// the instrumented share of ExecTime, surfaced for the self-overhead
+	// accounting.
+	ProbeOverhead simtime.Duration
 }
 
 // RunBaseline executes stage 1: discover the internal synchronization
 // funnel, then run the application with a single lightweight probe on it,
 // recording which API functions synchronize and the overall execution time.
 func RunBaseline(app proc.App, factory proc.Factory, ov Overheads) (*BaselineResult, error) {
+	return runBaseline(app, factory, ov, nil)
+}
+
+// runBaseline is RunBaseline with a self-measurement registry attached to
+// the stage's process (nil for the unobserved path).
+func runBaseline(app proc.App, factory proc.Factory, ov Overheads, mets *obs.Registry) (*BaselineResult, error) {
 	funnel, err := interpose.Discover(func() *cuda.Context { return factory.New().Ctx })
 	if err != nil {
 		return nil, fmt.Errorf("ffm stage 1: %w", err)
 	}
 
 	p := factory.New()
+	p.Ctx.SetMetrics(mets)
 	res := &BaselineResult{SyncFunnel: funnel, SyncCounts: make(map[cuda.Func]int64)}
 	p.Ctx.AttachProbe(funnel, cuda.Probe{
 		Overhead: ov.Stage1Probe,
@@ -107,6 +119,7 @@ func RunBaseline(app proc.App, factory proc.Factory, ov Overheads) (*BaselineRes
 	}
 	res.ExecTime = p.ExecTime()
 	res.TotalCalls = p.Ctx.TotalCalls()
+	res.ProbeOverhead = p.Ctx.InstrumentationOverhead()
 	return res, nil
 }
 
@@ -134,10 +147,16 @@ func tracedFuncs(base *BaselineResult) []cuda.Func {
 // synchronizing function found in stage 1 plus the transfer functions,
 // recording per-call duration, synchronization wait and a stack trace.
 func RunDetailedTracing(app proc.App, factory proc.Factory, base *BaselineResult, ov Overheads) (*trace.Run, error) {
+	return runDetailedTracing(app, factory, base, ov, nil)
+}
+
+func runDetailedTracing(app proc.App, factory proc.Factory, base *BaselineResult, ov Overheads, mets *obs.Registry) (*trace.Run, error) {
 	p := factory.New()
+	p.Ctx.SetMetrics(mets)
 	tracer := interpose.NewCallTracer(p.Ctx, tracedFuncs(base), interpose.TracerOptions{
 		Overhead:      ov.Stage2Probe,
 		CaptureStacks: true,
+		Metrics:       mets,
 	})
 	if err := proc.SafeRun(app, p); err != nil {
 		return nil, fmt.Errorf("ffm stage 2: running %s: %w", app.Name(), err)
@@ -167,7 +186,12 @@ func funcsToStrings(fns []cuda.Func) []string {
 // modify, recording for each synchronization whether — and where — the
 // protected data is accessed afterwards.
 func RunMemoryTracing(app proc.App, factory proc.Factory, base *BaselineResult, ov Overheads) (*trace.Run, error) {
+	return runMemoryTracing(app, factory, base, ov, nil)
+}
+
+func runMemoryTracing(app proc.App, factory proc.Factory, base *BaselineResult, ov Overheads, mets *obs.Registry) (*trace.Run, error) {
 	p := factory.New()
+	p.Ctx.SetMetrics(mets)
 
 	store := hashstore.New()
 	var pendingSync *trace.Record
@@ -180,6 +204,7 @@ func RunMemoryTracing(app proc.App, factory proc.Factory, base *BaselineResult, 
 		}
 	})
 	tracker.SetCharger(p.Ctx.ChargeOverhead)
+	tracker.SetMetrics(mets)
 
 	// Managed allocations publish GPU-writable host ranges even though
 	// MallocManaged is neither a sync nor a transfer, so track it with a
@@ -197,6 +222,7 @@ func RunMemoryTracing(app proc.App, factory proc.Factory, base *BaselineResult, 
 		Overhead:        ov.Stage3Probe,
 		CaptureStacks:   true,
 		CapturePayloads: true,
+		Metrics:         mets,
 		OnRecord: func(rec *trace.Record, call *cuda.Call) {
 			if rec.Class == trace.ClassTransfer {
 				if call.Payload != nil {
@@ -247,6 +273,13 @@ func RunMemoryTracing(app proc.App, factory proc.Factory, base *BaselineResult, 
 // the stage-4 run itself consumed (zero when stage 3 found no access sites
 // and no re-run was needed).
 func RunSyncUse(app proc.App, factory proc.Factory, base *BaselineResult, stage3 *trace.Run, ov Overheads) (*trace.Run, simtime.Duration, error) {
+	run, execTime, _, err := runSyncUse(app, factory, base, stage3, ov, nil)
+	return run, execTime, err
+}
+
+// runSyncUse is RunSyncUse with a self-measurement registry and a third
+// result: the virtual time the stage-4 instrumentation itself charged.
+func runSyncUse(app proc.App, factory proc.Factory, base *BaselineResult, stage3 *trace.Run, ov Overheads, mets *obs.Registry) (*trace.Run, simtime.Duration, simtime.Duration, error) {
 	// Collect the sites stage 3 identified.
 	sites := make(map[memory.Site]bool)
 	for _, rec := range stage3.Records {
@@ -260,9 +293,10 @@ func RunSyncUse(app proc.App, factory proc.Factory, base *BaselineResult, stage3
 	}
 
 	firstUse := make(map[int64]simtime.Duration) // record seq -> first use gap
-	var stageExec simtime.Duration
+	var stageExec, stageProbe simtime.Duration
 	if len(sites) > 0 {
 		p := factory.New()
+		p.Ctx.SetMetrics(mets)
 		var pendingSeq int64
 		var pendingEnd simtime.Time // overhead-compensated sync end
 		havePending := false
@@ -282,6 +316,7 @@ func RunSyncUse(app proc.App, factory proc.Factory, base *BaselineResult, stage3
 			}
 		})
 		tracker.SetCharger(p.Ctx.ChargeOverhead)
+		tracker.SetMetrics(mets)
 		tracker.FilterSites(sites)
 
 		p.Ctx.AttachProbe(cuda.FuncMallocManaged, cuda.Probe{Exit: func(c *cuda.Call) {
@@ -292,6 +327,7 @@ func RunSyncUse(app proc.App, factory proc.Factory, base *BaselineResult, stage3
 
 		interpose.NewCallTracer(p.Ctx, tracedFuncs(base), interpose.TracerOptions{
 			Overhead: ov.Stage4Probe,
+			Metrics:  mets,
 			OnRecord: func(rec *trace.Record, call *cuda.Call) {
 				if rec.Class == trace.ClassTransfer && call.Dir == cuda.DirD2H && call.HostSize > 0 {
 					tracker.AddRange(memory.Addr(call.HostAddr), memory.Addr(call.HostAddr)+memory.Addr(call.HostSize))
@@ -306,9 +342,10 @@ func RunSyncUse(app proc.App, factory proc.Factory, base *BaselineResult, stage3
 		})
 
 		if err := proc.SafeRun(app, p); err != nil {
-			return nil, 0, fmt.Errorf("ffm stage 4: running %s: %w", app.Name(), err)
+			return nil, 0, 0, fmt.Errorf("ffm stage 4: running %s: %w", app.Name(), err)
 		}
 		stageExec = p.ExecTime()
+		stageProbe = p.Ctx.InstrumentationOverhead()
 	}
 
 	merged := *stage3
@@ -319,7 +356,7 @@ func RunSyncUse(app proc.App, factory proc.Factory, base *BaselineResult, stage3
 			merged.Records[i].FirstUse = d
 		}
 	}
-	return &merged, stageExec, nil
+	return &merged, stageExec, stageProbe, nil
 }
 
 // MatchStage2Timing overwrites the stage-3/4 records' timing fields with

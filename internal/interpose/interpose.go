@@ -26,6 +26,7 @@ import (
 	"diogenes/internal/cuda"
 	"diogenes/internal/gpu"
 	"diogenes/internal/memory"
+	"diogenes/internal/obs"
 	"diogenes/internal/simtime"
 	"diogenes/internal/trace"
 )
@@ -133,6 +134,13 @@ type TracerOptions struct {
 	// is valid for the duration of the callback and addresses the stored
 	// record, so annotations written through it persist.
 	OnRecord func(*trace.Record, *cuda.Call)
+	// Metrics, if set, receives self-measurement telemetry: probe firings
+	// and charged overhead (interpose/probe_firings,
+	// interpose/probe_overhead_ns), record counts (interpose/records), and
+	// per-call virtual durations (interpose/call_ns, interpose/sync_wait_ns
+	// histograms). Purely observational — recording never touches the
+	// virtual clock.
+	Metrics *obs.Registry
 }
 
 // CallTracer performs entry/exit tracing of a set of driver functions
@@ -152,11 +160,25 @@ type CallTracer struct {
 	// application's own (overhead-compensated) timeline. Driver calls do
 	// not nest, so a single slot suffices.
 	entryLedger simtime.Duration
+
+	// Instrument pointers resolved once at construction (nil-safe no-ops
+	// when TracerOptions.Metrics is unset).
+	mFirings  *obs.Counter
+	mProbeNS  *obs.Counter
+	mRecords  *obs.Counter
+	mCallNS   *obs.Histogram
+	mSyncWait *obs.Histogram
 }
 
 // NewCallTracer attaches entry/exit probes to each function in funcs.
 func NewCallTracer(ctx *cuda.Context, funcs []cuda.Func, opts TracerOptions) *CallTracer {
 	t := &CallTracer{ctx: ctx, opts: opts}
+	m := opts.Metrics
+	t.mFirings = m.Counter("interpose/probe_firings")
+	t.mProbeNS = m.Counter("interpose/probe_overhead_ns")
+	t.mRecords = m.Counter("interpose/records")
+	t.mCallNS = m.Histogram("interpose/call_ns")
+	t.mSyncWait = m.Histogram("interpose/sync_wait_ns")
 	if opts.CaptureStacks {
 		ctx.SetStackCapture(true)
 	}
@@ -178,9 +200,13 @@ func (t *CallTracer) onEntry(call *cuda.Call) {
 	// The probe's own entry overhead was charged after Call.Entry was
 	// stamped; exclude it from the snapshot.
 	t.entryLedger = t.ctx.InstrumentationOverhead() - t.opts.Overhead
+	t.mFirings.Inc()
+	t.mProbeNS.Add(int64(t.opts.Overhead))
 }
 
 func (t *CallTracer) onExit(call *cuda.Call) {
+	t.mFirings.Inc()
+	t.mProbeNS.Add(int64(t.opts.Overhead))
 	isTransfer := call.Kind == cuda.KindTransfer
 	if !isTransfer && call.Scope == cuda.SyncNone {
 		return // neither a synchronization nor a transfer: no data collected
@@ -211,6 +237,9 @@ func (t *CallTracer) onExit(call *cuda.Call) {
 		rec.Stack = call.Stack
 	}
 	t.records = append(t.records, rec)
+	t.mRecords.Inc()
+	t.mCallNS.Observe(int64(rec.Exit - rec.Entry))
+	t.mSyncWait.Observe(int64(rec.SyncWait))
 	if t.opts.OnRecord != nil {
 		t.opts.OnRecord(&t.records[len(t.records)-1], call)
 	}
@@ -255,6 +284,9 @@ type RangeTracker struct {
 	onFirst  func(FirstAccess)
 	accesses int64
 	sites    map[memory.Site]bool
+
+	mAccesses *obs.Counter
+	mAccessNS *obs.Counter
 }
 
 type coveredRange struct{ lo, hi memory.Addr }
@@ -272,6 +304,14 @@ func NewRangeTracker(host *memory.Space, clock *simtime.Clock, accessOverhead si
 // SetCharger routes overhead charges through fn (normally
 // cuda.Context.ChargeOverhead) instead of plain clock advances.
 func (rt *RangeTracker) SetCharger(fn func(simtime.Duration)) { rt.charge = fn }
+
+// SetMetrics attaches self-measurement counters for watched accesses
+// (interpose/accesses) and the virtual time their instrumentation charged
+// (interpose/access_overhead_ns). A nil registry detaches.
+func (rt *RangeTracker) SetMetrics(m *obs.Registry) {
+	rt.mAccesses = m.Counter("interpose/accesses")
+	rt.mAccessNS = m.Counter("interpose/access_overhead_ns")
+}
 
 // AddRange registers [lo, hi) as GPU-writable and instruments accesses to
 // it. Ranges already covered are ignored — applications re-transfer into
@@ -300,6 +340,8 @@ func (rt *RangeTracker) onAccess(a memory.Access) {
 		return
 	}
 	rt.accesses++
+	rt.mAccesses.Inc()
+	rt.mAccessNS.Add(int64(rt.overhead))
 	if rt.overhead > 0 {
 		if rt.charge != nil {
 			rt.charge(rt.overhead)

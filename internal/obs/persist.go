@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"diogenes/internal/simtime"
+)
+
+// persistVersion is the on-disk schema version of a persisted observer.
+const persistVersion = 1
+
+// observerJSON is the serialized form of an Observer — what `diogenes obs`
+// reads back to pretty-print the last run.
+type observerJSON struct {
+	Format    int               `json:"format"`
+	Spans     *spanJSON         `json:"spans,omitempty"`
+	Metrics   *RegistrySnapshot `json:"metrics,omitempty"`
+	Overheads []*SelfOverhead   `json:"overheads,omitempty"`
+}
+
+type spanJSON struct {
+	Name     string            `json:"name"`
+	Cat      string            `json:"cat,omitempty"`
+	Order    int               `json:"order,omitempty"`
+	Row      int               `json:"row,omitempty"`
+	VDur     int64             `json:"vdur,omitempty"`
+	VOff     *int64            `json:"voff,omitempty"`
+	Wall     int64             `json:"wall,omitempty"`
+	Args     map[string]string `json:"args,omitempty"`
+	Children []*spanJSON       `json:"children,omitempty"`
+}
+
+// WriteJSON persists the observer's full state (spans, metrics snapshot,
+// self-overhead reports).
+func (o *Observer) WriteJSON(w io.Writer) error {
+	doc := observerJSON{Format: persistVersion}
+	if o != nil {
+		doc.Spans = spanToJSON(o.Trace(), o.Root())
+		doc.Metrics = o.Metrics().Snapshot()
+		doc.Overheads = o.SelfOverheads()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}
+
+func spanToJSON(t *Trace, s *Span) *spanJSON {
+	if t == nil || s == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var conv func(s *Span) *spanJSON
+	conv = func(s *Span) *spanJSON {
+		j := &spanJSON{
+			Name:  s.name,
+			Cat:   s.cat,
+			Order: s.order,
+			Row:   s.row,
+			VDur:  int64(s.vdur),
+			Wall:  int64(s.wall),
+		}
+		if s.hasOff {
+			off := int64(s.voff)
+			j.VOff = &off
+		}
+		if len(s.args) > 0 {
+			j.Args = make(map[string]string, len(s.args))
+			for k, v := range s.args {
+				j.Args[k] = v
+			}
+		}
+		// Persist children in deterministic order so the file itself is a
+		// determinism artifact.
+		for _, c := range s.sortedChildrenLocked() {
+			j.Children = append(j.Children, conv(c))
+		}
+		return j
+	}
+	return conv(s)
+}
+
+// ReadJSON reconstructs an observer persisted by WriteJSON. The result
+// supports the full display surface (WriteSummary, Chrome, Metrics) but is
+// not meant to receive further live updates.
+func ReadJSON(r io.Reader) (*Observer, error) {
+	var doc observerJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: decoding observer state: %w", err)
+	}
+	if doc.Format > persistVersion {
+		return nil, fmt.Errorf("obs: state format %d is newer than this tool understands (%d)", doc.Format, persistVersion)
+	}
+	name := "diogenes"
+	if doc.Spans != nil {
+		name = doc.Spans.Name
+	}
+	o := &Observer{trace: NewTrace(name), metrics: RegistryFromSnapshot(doc.Metrics), overheads: doc.Overheads}
+	if doc.Spans != nil {
+		o.trace.root.cat = doc.Spans.Cat
+		applySpanJSON(o.trace.root, doc.Spans)
+	}
+	return o, nil
+}
+
+func applySpanJSON(s *Span, j *spanJSON) {
+	s.SetVirtual(simtime.Duration(j.VDur))
+	s.SetWall(time.Duration(j.Wall))
+	if j.Row != 0 {
+		s.SetRow(j.Row)
+	}
+	if j.VOff != nil {
+		s.SetOffset(simtime.Duration(*j.VOff))
+	}
+	for _, k := range sortedKeys(j.Args) {
+		s.SetArg(k, j.Args[k])
+	}
+	for _, cj := range j.Children {
+		applySpanJSON(s.Child(cj.Order, cj.Cat, cj.Name), cj)
+	}
+}

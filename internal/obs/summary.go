@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"diogenes/internal/simtime"
+)
+
+// StageCost is one instrumented pipeline stage's contribution to the
+// tool's self-overhead: the stage's raw (instrumented) virtual execution
+// time and the share of it charged by the instrumentation itself.
+type StageCost struct {
+	Name string `json:"name"`
+	// Raw is the stage's full instrumented virtual execution time.
+	Raw simtime.Duration `json:"raw"`
+	// Probe is the virtual time the stage's instrumentation charged (probe
+	// trampolines, hashing, load/store snippets) — the tool-inflicted part
+	// of Raw.
+	Probe simtime.Duration `json:"probe"`
+}
+
+// SelfOverhead quantifies the tool's own perturbation of one application:
+// each collection stage's cost against the uninstrumented reference run,
+// echoing the §5.3 overhead accounting (8×–20× across the paper's
+// workloads).
+type SelfOverhead struct {
+	App string `json:"app"`
+	// Reference is the uninstrumented execution time — the honest
+	// denominator.
+	Reference simtime.Duration `json:"reference"`
+	Stages    []StageCost      `json:"stages"`
+}
+
+// Collection returns the total virtual time of all instrumented stages.
+func (o *SelfOverhead) Collection() simtime.Duration {
+	var sum simtime.Duration
+	for _, st := range o.Stages {
+		sum += st.Raw
+	}
+	return sum
+}
+
+// ProbeTotal returns the total instrumentation charge across stages.
+func (o *SelfOverhead) ProbeTotal() simtime.Duration {
+	var sum simtime.Duration
+	for _, st := range o.Stages {
+		sum += st.Probe
+	}
+	return sum
+}
+
+// Multiple returns Collection divided by the reference time — the §5.3
+// overhead multiple.
+func (o *SelfOverhead) Multiple() float64 {
+	if o.Reference <= 0 {
+		return 0
+	}
+	return float64(o.Collection()) / float64(o.Reference)
+}
+
+// Write renders the report as a plain-text table.
+func (o *SelfOverhead) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Self-overhead — %s (instrumented vs reference)\n", o.App); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-28s %10.3fs\n", "reference (uninstrumented)", o.Reference.Seconds())
+	for _, st := range o.Stages {
+		mult := 0.0
+		if o.Reference > 0 {
+			mult = float64(st.Raw) / float64(o.Reference)
+		}
+		share := 0.0
+		if st.Raw > 0 {
+			share = 100 * float64(st.Probe) / float64(st.Raw)
+		}
+		fmt.Fprintf(w, "  %-28s %10.3fs  %5.2fx ref  probes %8.3fs (%4.1f%% of stage)\n",
+			st.Name, st.Raw.Seconds(), mult, st.Probe.Seconds(), share)
+	}
+	probeShare := 0.0
+	if c := o.Collection(); c > 0 {
+		probeShare = 100 * float64(o.ProbeTotal()) / float64(c)
+	}
+	fmt.Fprintf(w, "  %-28s %10.3fs  %5.2fx ref  probes %8.3fs (%4.1f%% of collection)\n",
+		"total collection", o.Collection().Seconds(), o.Multiple(),
+		o.ProbeTotal().Seconds(), probeShare)
+	return nil
+}
+
+// WriteSummary renders everything the observer captured as plain text:
+// the span tree with virtual and wall attribution, the per-application
+// self-overhead reports, and the metrics registry.
+func (o *Observer) WriteSummary(w io.Writer) error {
+	if o == nil || o.Empty() {
+		_, err := fmt.Fprintln(w, "no self-measurement data recorded")
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "== pipeline spans =="); err != nil {
+		return err
+	}
+	if err := o.Trace().WriteTree(w); err != nil {
+		return err
+	}
+	for _, so := range o.SelfOverheads() {
+		fmt.Fprintln(w)
+		if err := so.Write(w); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w, "== metrics =="); err != nil {
+		return err
+	}
+	return o.Metrics().Write(w)
+}
+
+// WriteTree renders the span tree as indented text, children in the same
+// deterministic (order, name) sequence the Chrome export uses. Wall times
+// are included — the tree is a human display, not a determinism artifact.
+func (t *Trace) WriteTree(w io.Writer) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "(no spans)")
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		indent := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%s%s [%s] virtual=%s", indent, s.name, s.cat, s.virtualLocked())
+		if s.wall > 0 {
+			line += fmt.Sprintf(" wall=%s", s.wall)
+		}
+		if len(s.args) > 0 {
+			keys := sortedKeys(s.args)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + s.args[k]
+			}
+			line += " {" + strings.Join(parts, " ") + "}"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, c := range s.sortedChildrenLocked() {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0)
+}
+
+// StageNames returns the distinct span names in the given category, in
+// deterministic tree order — convenience for asserting a trace covers all
+// pipeline stages.
+func (t *Trace) StageNames(cat string) []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[string]bool)
+	var names []string
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s.cat == cat && !seen[s.name] {
+			seen[s.name] = true
+			names = append(names, s.name)
+		}
+		for _, c := range s.sortedChildrenLocked() {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Strings(names)
+	return names
+}

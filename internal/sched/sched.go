@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"diogenes/internal/obs"
 )
 
 // Task is one unit of work submitted to a Pool.
@@ -33,17 +36,16 @@ type Task struct {
 }
 
 // Result reports one task's outcome. Results are returned in submission
-// order, independent of the order workers finished in.
+// order, independent of the order workers finished in. Per-task wall-clock
+// timing is not part of the result: it is published to the pool's metrics
+// registry (SetMetrics) as the sched/task_wall_ns histogram, where the
+// utilization accounting actually consumes it.
 type Result struct {
 	Name string
 	// Err is nil on success, the task's own error, a *PanicError if the
 	// task panicked, or an error wrapping ErrSkipped if an earlier failure
 	// cancelled the run before the task started.
 	Err error
-	// Elapsed is the wall-clock time the task's Fn ran for (zero for
-	// skipped tasks). It is diagnostic only — all simulation timing is
-	// virtual — so no determinism guarantee attaches to it.
-	Elapsed time.Duration
 }
 
 // ErrSkipped marks tasks that never started because the run was cancelled
@@ -69,6 +71,7 @@ func (e *PanicError) Error() string {
 // A Pool is stateless between Run calls and safe for concurrent use.
 type Pool struct {
 	workers int
+	metrics *obs.Registry
 }
 
 // New returns a pool running at most workers tasks concurrently.
@@ -85,6 +88,16 @@ func New(workers int) (*Pool, error) {
 
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetMetrics attaches a metrics registry to the pool. Every subsequent Run
+// publishes scheduler telemetry there: per-task wall timing
+// (sched/task_wall_ns), task outcome counters (sched/tasks_run,
+// sched/tasks_failed, sched/tasks_skipped), queue depth
+// (sched/queue_depth, sched/queue_depth_peak) and worker utilization
+// (sched/utilization_pct, busy time over workers × run wall time). All of
+// it is wall-clock diagnostic data — simulation results never depend on
+// it. A nil registry disables publication.
+func (p *Pool) SetMetrics(m *obs.Registry) { p.metrics = m }
 
 // Run executes the tasks on the pool's workers and blocks until every
 // started task has finished. The first failure (error or panic) cancels the
@@ -126,35 +139,63 @@ func (p *Pool) Run(ctx context.Context, tasks ...Task) ([]Result, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+
+	// Scheduler telemetry. All instruments are nil-safe, so an unmetered
+	// pool pays only nil checks.
+	m := p.metrics
+	var (
+		taskWall    = m.Histogram("sched/task_wall_ns")
+		tasksRun    = m.Counter("sched/tasks_run")
+		tasksFailed = m.Counter("sched/tasks_failed")
+		tasksSkip   = m.Counter("sched/tasks_skipped")
+		queueDepth  = m.Gauge("sched/queue_depth")
+		queuePeak   = m.Gauge("sched/queue_depth_peak")
+		utilization = m.Gauge("sched/utilization_pct")
+		busyNS      atomic.Int64
+		runStart    = time.Now()
+		pending     atomic.Int64
+	)
+	pending.Store(int64(len(tasks)))
+	queuePeak.SetMax(float64(len(tasks)))
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range indexes {
+				queueDepth.Set(float64(pending.Add(-1)))
 				if err := runCtx.Err(); err != nil {
 					results[i].Err = fmt.Errorf("%w (task %q): %w", ErrSkipped, tasks[i].Name, context.Cause(runCtx))
+					tasksSkip.Inc()
 					continue
 				}
-				results[i].Err = p.runOne(runCtx, tasks[i], &results[i].Elapsed)
+				start := time.Now()
+				results[i].Err = p.runOne(runCtx, tasks[i])
+				elapsed := time.Since(start)
+				busyNS.Add(int64(elapsed))
+				taskWall.Observe(int64(elapsed))
+				tasksRun.Inc()
 				if results[i].Err != nil {
+					tasksFailed.Inc()
 					fail(results[i].Err)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if wall := time.Since(runStart); wall > 0 && workers > 0 {
+		utilization.Set(100 * float64(busyNS.Load()) / (float64(wall) * float64(workers)))
+	}
 	return results, firstErr
 }
 
 // runOne executes a single task, converting a panic into a *PanicError.
-func (p *Pool) runOne(ctx context.Context, t Task, elapsed *time.Duration) (err error) {
+func (p *Pool) runOne(ctx context.Context, t Task) (err error) {
 	if t.Fn == nil {
 		return fmt.Errorf("sched: task %q has no function", t.Name)
 	}
-	start := time.Now()
 	defer func() {
-		*elapsed = time.Since(start)
 		if v := recover(); v != nil {
 			buf := make([]byte, 16<<10)
 			buf = buf[:runtime.Stack(buf, false)]
@@ -168,10 +209,19 @@ func (p *Pool) runOne(ctx context.Context, t Task, elapsed *time.Duration) (err 
 // the first error — the fire-and-join convenience used by callers that need
 // structured results no finer than "did everything succeed".
 func Go(ctx context.Context, workers int, fns ...func(ctx context.Context) error) error {
+	return GoMetrics(ctx, workers, nil, fns...)
+}
+
+// GoMetrics is Go with a metrics registry attached to the throwaway pool,
+// so ad-hoc parallel sections (the FFM stage overlap, the benefit
+// measurement pair) contribute to the same scheduler telemetry as the
+// experiment suites. A nil registry is Go.
+func GoMetrics(ctx context.Context, workers int, m *obs.Registry, fns ...func(ctx context.Context) error) error {
 	pool, err := New(workers)
 	if err != nil {
 		return err
 	}
+	pool.SetMetrics(m)
 	tasks := make([]Task, len(fns))
 	for i, fn := range fns {
 		tasks[i] = Task{Name: fmt.Sprintf("task-%d", i), Fn: fn}

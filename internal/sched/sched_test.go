@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"diogenes/internal/obs"
 )
 
 // TestNewWorkerCounts is the table-driven contract for pool construction:
@@ -186,11 +188,15 @@ func TestParentCancellationSkips(t *testing.T) {
 
 // TestResultsKeepSubmissionOrder proves results are ordered by submission,
 // not completion: later tasks finishing first must not reorder the slice.
+// It also covers the metrics surface that replaced per-result timing: every
+// executed task lands in the sched/task_wall_ns histogram.
 func TestResultsKeepSubmissionOrder(t *testing.T) {
 	p, err := New(4)
 	if err != nil {
 		t.Fatal(err)
 	}
+	m := obs.NewRegistry()
+	p.SetMetrics(m)
 	var tasks []Task
 	for i := 0; i < 16; i++ {
 		i := i
@@ -212,9 +218,15 @@ func TestResultsKeepSubmissionOrder(t *testing.T) {
 		if r.Name != fmt.Sprintf("t%d", i) {
 			t.Fatalf("result %d = %s", i, r.Name)
 		}
-		if r.Elapsed < 0 {
-			t.Fatalf("task %s has negative elapsed time", r.Name)
-		}
+	}
+	if got := m.Histogram("sched/task_wall_ns").Count(); got != 16 {
+		t.Fatalf("task_wall_ns count = %d, want 16", got)
+	}
+	if got := m.Counter("sched/tasks_run").Value(); got != 16 {
+		t.Fatalf("tasks_run = %d, want 16", got)
+	}
+	if util := m.Gauge("sched/utilization_pct").Value(); util <= 0 || util > 100 {
+		t.Fatalf("utilization_pct = %g, want within (0, 100]", util)
 	}
 }
 
