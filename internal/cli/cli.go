@@ -36,6 +36,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	metricsPath := globals.String("metrics", "", "export the invocation's self-measurement metrics as text")
 	cpuProfile := globals.String("cpuprofile", "", "write a pprof CPU profile of the tool itself")
 	memProfile := globals.String("memprofile", "", "write a pprof heap profile of the tool itself")
+	showVersion := globals.Bool("version", false, "print the build's version and exit")
 	if err := globals.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			usage(stderr)
@@ -46,6 +47,13 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	args = globals.Args()
+	if *showVersion {
+		if err := Version(stdout); err != nil {
+			fmt.Fprintf(stderr, "diogenes: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if len(args) < 1 {
 		usage(stderr)
 		return 2
@@ -122,6 +130,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = Discover(stdout)
 	case "obs":
 		err = Obs(stdout, rest)
+	case "serve":
+		err = Serve(stdout, rest)
+	case "version":
+		err = Version(stdout)
 	case "help", "-h", "--help":
 		usage(stderr)
 	default:
@@ -191,6 +203,7 @@ global flags (before the command):
                             (span tree, overhead report, metrics) as text
   -cpuprofile file          write a pprof CPU profile of the tool itself
   -memprofile file          write a pprof heap profile of the tool itself
+  -version                  print the build's version and exit
 
 commands:
   list                      list the modelled applications
@@ -215,6 +228,16 @@ commands:
       -trace file           re-export its Chrome span trace
       -metrics file         re-export its metrics text
       -state file           read this state file instead of the default
+  serve [flags]             run the pipeline as an HTTP analysis service
+      -addr host:port       listen address (default 127.0.0.1:8377)
+      -addr-file file       write the bound address here once listening
+      -queue n              bounded job backlog; full means HTTP 429 (default 16)
+      -workers n            concurrent jobs (0 = all cores)
+      -store dir            persistent report store directory
+      -store-budget n       store LRU byte budget (0 = unbounded)
+      -timeout d            default per-job execution cap
+      -drain d              graceful-shutdown drain budget (default 30s)
+  version                   print the build's version and exit
 `)
 }
 
@@ -422,15 +445,9 @@ func Table2(w io.Writer, eng *experiments.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	for i, rows := range sections {
-		if i > 0 {
-			fmt.Fprintln(w)
-		}
-		if err := report.Table2(w, names[i], rows); err != nil {
-			return err
-		}
-	}
-	return nil
+	// One rendering path shared with the serve API keeps the outputs
+	// byte-identical.
+	return report.Table2Sections(w, names, sections)
 }
 
 // Overhead prints the §5.3 cost breakdown for one application.
@@ -541,20 +558,9 @@ func Verify(w io.Writer, eng *experiments.Engine, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-18s %-22s %-26s %-14s %s\n",
-		"Application", "Manual fix (paper's)", "Automatic fix (elision)", "Calls elided", "Guard")
-	for _, r := range rows {
-		guard := "ok"
-		if !r.Valid {
-			guard = "REJECTED: " + r.GuardViolation
-		}
-		fmt.Fprintf(w, "%-18s %8.3fs (%5.2f%%)    %8.3fs (%5.2f%%; est %.3fs) %10d    %s\n",
-			r.App,
-			r.ManualActual.Seconds(), r.ManualActualPct,
-			r.AutoRealized.Seconds(), r.AutoRealizedPct, r.AutoEstimated.Seconds(),
-			r.CallsElided, guard)
-	}
-	return nil
+	// One rendering path shared with the serve API keeps the outputs
+	// byte-identical.
+	return report.AutofixTable(w, rows)
 }
 
 // Obs pretty-prints the persisted self-measurement of the most recent

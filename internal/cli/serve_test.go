@@ -1,0 +1,168 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServe runs the serve subcommand in the background with a
+// cancellable lifetime and returns the bound base URL plus a stopper that
+// triggers the graceful drain and waits for exit.
+func startServe(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extraArgs...)
+	var out strings.Builder
+	errCh := make(chan error, 1)
+	go func() { errCh <- serveWithContext(ctx, &out, args) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("serve never wrote %s; output so far: %s", addrFile, out.String())
+		}
+		if b, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(b))
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	stop := func() error {
+		cancel()
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(60 * time.Second):
+			t.Fatal("serve did not exit after cancel")
+			return nil
+		}
+	}
+	return "http://" + addr, stop
+}
+
+// TestServeEndToEnd drives the daemon exactly like the CI smoke step:
+// start, submit, poll to completion, fetch the report and /metrics, then
+// shut down gracefully.
+func TestServeEndToEnd(t *testing.T) {
+	store := t.TempDir()
+	base, stop := startServe(t, "-store", store, "-queue", "4", "-workers", "2")
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"run","app":"rodinia_gaussian","scale":0.05}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for job.Status != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %s", job.ID, job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(base + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(r.Body).Decode(&job)
+		r.Body.Close()
+	}
+
+	r, err := http.Get(base + "/jobs/" + job.ID + "/report?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 200 {
+		t.Fatalf("report: status %d", r.StatusCode)
+	}
+	r, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 200 {
+		t.Fatalf("metrics: status %d", r.StatusCode)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// The report persisted across the daemon's lifetime.
+	entries, err := os.ReadDir(store)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("store %s empty after shutdown (err %v)", store, err)
+	}
+}
+
+func TestServeRejectsBadFlags(t *testing.T) {
+	if err := serveWithContext(context.Background(), &strings.Builder{}, []string{"-queue", "-1"}); err == nil {
+		t.Fatal("negative queue capacity accepted")
+	}
+	if err := serveWithContext(context.Background(), &strings.Builder{}, []string{"stray"}); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	if err := serveWithContext(context.Background(), &strings.Builder{}, []string{"-addr", "not-an-address"}); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+func TestVersionCommandAndFlag(t *testing.T) {
+	code, out, _ := runMain(t, "version")
+	if code != 0 {
+		t.Fatalf("version: exit %d", code)
+	}
+	if !strings.HasPrefix(out, "diogenes ") {
+		t.Fatalf("version output %q", out)
+	}
+	code, flagOut, _ := runMain(t, "-version")
+	if code != 0 {
+		t.Fatalf("-version: exit %d", code)
+	}
+	if flagOut != out {
+		t.Fatalf("-version %q != version %q", flagOut, out)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if got := versionString(nil, false); got != "diogenes (no build info)" {
+		t.Fatalf("no build info: %q", got)
+	}
+	info := &debug.BuildInfo{GoVersion: "go1.24.0"}
+	info.Main.Version = "(devel)"
+	info.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	want := "diogenes devel go1.24.0 0123456789ab+dirty"
+	if got := versionString(info, true); got != want {
+		t.Fatalf("versionString = %q, want %q", got, want)
+	}
+}
+
+func TestUsageMentionsServeAndVersion(t *testing.T) {
+	_, _, errOut := runMain(t, "help")
+	for _, want := range []string{"serve [flags]", "version", "-queue n"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("usage missing %q", want)
+		}
+	}
+}

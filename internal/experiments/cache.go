@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -77,33 +78,71 @@ func CacheKey(app string, scale float64, variant apps.Variant, cfg ffm.Config) (
 // The cache is safe for concurrent use and deduplicates in-flight work —
 // two workers asking for the same key run the pipeline once.
 //
+// Memory is bounded: SetByteBudget caps the resident serialized-report
+// bytes, and crossing the cap evicts least-recently-used completed entries
+// (counted on cache/evictions). The budget is soft by exactly one entry —
+// the most recently computed result is never evicted by its own arrival,
+// so a single oversized report is returned and retained rather than
+// thrashed. The default budget of zero keeps the historical unbounded
+// behaviour.
+//
 // Cached values are shared: callers must treat a returned *ffm.Report as
 // immutable.
 type ReportCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	hits    int64
-	misses  int64
+	order   *list.List // front = most recently used
+	budget  int64
+	bytes   int64
 
-	mHits   *obs.Counter
-	mMisses *obs.Counter
-	mBytes  *obs.Counter
+	hits      int64
+	misses    int64
+	evictions int64
+
+	mHits  *obs.Counter
+	mMiss  *obs.Counter
+	mBytes *obs.Counter
+	mEvict *obs.Counter
+	mSize  *obs.Gauge
 }
 
 type cacheEntry struct {
+	key  string
+	elem *list.Element
 	once sync.Once
 	val  any
 	err  error
+	// cost and accounted are written inside once.Do and then published
+	// under the cache mutex by charge; eviction only considers accounted
+	// (i.e. completed) entries, so in-flight work keeps its dedup entry.
+	cost      int64
+	accounted bool
 }
 
-// NewReportCache returns an empty cache.
+// NewReportCache returns an empty, unbounded cache.
 func NewReportCache() *ReportCache {
-	return &ReportCache{entries: make(map[string]*cacheEntry)}
+	return &ReportCache{entries: make(map[string]*cacheEntry), order: list.New()}
 }
 
-// SetMetrics mirrors the cache's hit/miss accounting to a self-measurement
-// registry (cache/hits, cache/misses) and, for each report computed through
-// the cache, the serialized report size (cache/report_bytes). Nil receiver
+// SetByteBudget caps the cache's resident cost at n bytes (serialized
+// report size for reports, a small nominal cost for runtimes), evicting
+// LRU entries immediately if the cache is already over. n <= 0 removes the
+// bound.
+func (c *ReportCache) SetByteBudget(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = n
+	c.evictLocked(nil)
+	c.mSize.Set(float64(c.bytes))
+}
+
+// SetMetrics mirrors the cache's accounting to a self-measurement
+// registry: cache/hits, cache/misses, cache/evictions, the resident-cost
+// gauge cache/bytes, and — for each report computed through the cache —
+// the cumulative serialized report size (cache/report_bytes). Nil receiver
 // and nil registry are both no-ops.
 func (c *ReportCache) SetMetrics(m *obs.Registry) {
 	if c == nil {
@@ -112,36 +151,91 @@ func (c *ReportCache) SetMetrics(m *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.mHits = m.Counter("cache/hits")
-	c.mMisses = m.Counter("cache/misses")
+	c.mMiss = m.Counter("cache/misses")
 	c.mBytes = m.Counter("cache/report_bytes")
+	c.mEvict = m.Counter("cache/evictions")
+	c.mSize = m.Gauge("cache/bytes")
 }
 
-// do returns the memoized value for key, computing it at most once.
-func (c *ReportCache) do(key string, compute func() (any, error)) (any, error) {
+// do returns the memoized value for key, computing it (and its retention
+// cost) at most once.
+func (c *ReportCache) do(key string, compute func() (any, int64, error)) (any, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = new(cacheEntry)
+		e = &cacheEntry{key: key}
+		e.elem = c.order.PushFront(e)
 		c.entries[key] = e
 		c.misses++
-		c.mMisses.Inc()
+		c.mMiss.Inc()
 	} else {
+		c.order.MoveToFront(e.elem)
 		c.hits++
 		c.mHits.Inc()
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
+	e.once.Do(func() {
+		e.val, e.cost, e.err = compute()
+		c.charge(e)
+	})
 	return e.val, e.err
 }
 
-// Report memoizes a full pipeline report.
-func (c *ReportCache) Report(key string, compute func() (*ffm.Report, error)) (*ffm.Report, error) {
-	v, err := c.do("report/"+key, func() (any, error) {
-		rep, err := compute()
-		if err == nil {
-			c.recordReportSize(rep)
+// charge publishes a freshly computed entry's cost and enforces the
+// budget. The entry may already have been evicted while it was computing;
+// then there is nothing to account.
+func (c *ReportCache) charge(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, present := c.entries[e.key]; present && cur == e && !e.accounted {
+		e.accounted = true
+		c.bytes += e.cost
+		c.evictLocked(e)
+	}
+	c.mSize.Set(float64(c.bytes))
+}
+
+// evictLocked removes least-recently-used completed entries until the
+// cache fits its budget, never evicting keep (the entry that triggered the
+// pass) or entries still computing. c.mu must be held.
+func (c *ReportCache) evictLocked(keep *cacheEntry) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		var victim *cacheEntry
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			cand := el.Value.(*cacheEntry)
+			if cand.accounted && cand != keep {
+				victim = cand
+				break
+			}
 		}
-		return rep, err
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victim.key)
+		c.order.Remove(victim.elem)
+		c.bytes -= victim.cost
+		c.evictions++
+		c.mEvict.Inc()
+	}
+}
+
+// Report memoizes a full pipeline report. Its retention cost is the
+// serialized report size.
+func (c *ReportCache) Report(key string, compute func() (*ffm.Report, error)) (*ffm.Report, error) {
+	v, err := c.do("report/"+key, func() (any, int64, error) {
+		rep, err := compute()
+		if err != nil {
+			return rep, 0, err
+		}
+		size := serializedSize(rep)
+		c.mu.Lock()
+		bytesCounter := c.mBytes
+		c.mu.Unlock()
+		bytesCounter.Add(size)
+		return rep, size, nil
 	})
 	if err != nil {
 		return nil, err
@@ -153,9 +247,16 @@ func (c *ReportCache) Report(key string, compute func() (*ffm.Report, error)) (*
 	return rep, nil
 }
 
+// runtimeEntryCost is the nominal budget charge for a memoized duration —
+// the entry bookkeeping dwarfs the value itself.
+const runtimeEntryCost = 64
+
 // Runtime memoizes an uninstrumented execution time.
 func (c *ReportCache) Runtime(key string, compute func() (simtime.Duration, error)) (simtime.Duration, error) {
-	v, err := c.do("runtime/"+key, func() (any, error) { return compute() })
+	v, err := c.do("runtime/"+key, func() (any, int64, error) {
+		d, err := compute()
+		return d, runtimeEntryCost, err
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -166,20 +267,16 @@ func (c *ReportCache) Runtime(key string, compute func() (simtime.Duration, erro
 	return d, nil
 }
 
-// recordReportSize books a freshly computed report's serialized size on the
-// cache/report_bytes counter. The extra serialization runs only when a
-// metrics registry is attached — the unobserved path pays nothing.
-func (c *ReportCache) recordReportSize(rep *ffm.Report) {
-	c.mu.Lock()
-	bytesCounter := c.mBytes
-	c.mu.Unlock()
-	if bytesCounter == nil || rep == nil {
-		return
+// serializedSize measures a report's JSON encoding without retaining it.
+func serializedSize(rep *ffm.Report) int64 {
+	if rep == nil {
+		return 0
 	}
 	var n countingWriter
-	if err := rep.WriteJSON(&n); err == nil {
-		bytesCounter.Add(int64(n))
+	if err := rep.WriteJSON(&n); err != nil {
+		return 0
 	}
+	return int64(n)
 }
 
 // countingWriter is an io.Writer that only counts.
@@ -195,4 +292,18 @@ func (c *ReportCache) Stats() (hits, misses int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.entries)
+}
+
+// Bytes returns the resident retention cost of all completed entries.
+func (c *ReportCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Evictions returns how many entries the byte budget has evicted.
+func (c *ReportCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

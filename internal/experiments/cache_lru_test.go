@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"diogenes/internal/ffm"
+	"diogenes/internal/obs"
+)
+
+// fakeReport builds a minimal report whose serialized size is stable, for
+// exercising the byte budget without running pipelines.
+func fakeReport(app string) *ffm.Report {
+	return &ffm.Report{App: app}
+}
+
+func TestReportCacheByteBudgetEvictsLRU(t *testing.T) {
+	c := NewReportCache()
+	m := obs.NewRegistry()
+	c.SetMetrics(m)
+
+	one := serializedSize(fakeReport("app-0"))
+	if one <= 0 {
+		t.Fatalf("serializedSize = %d, want > 0", one)
+	}
+	c.SetByteBudget(3 * one)
+
+	get := func(i int) {
+		t.Helper()
+		rep, err := c.Report(fmt.Sprintf("key-%d", i), func() (*ffm.Report, error) {
+			return fakeReport(fmt.Sprintf("app-%d", i)), nil
+		})
+		if err != nil || rep == nil {
+			t.Fatalf("Report(%d): %v", i, err)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		get(i)
+	}
+	if ev := c.Evictions(); ev != 0 {
+		t.Fatalf("evictions = %d before exceeding budget", ev)
+	}
+	get(3) // over budget: key-0 is LRU and must go
+	if ev := c.Evictions(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if got := m.Counter("cache/evictions").Value(); got != 1 {
+		t.Fatalf("cache/evictions counter = %d, want 1", got)
+	}
+	if got, want := c.Bytes(), 3*one; got != want {
+		t.Fatalf("resident bytes = %d, want %d", got, want)
+	}
+
+	// key-0 was evicted: asking again recomputes (a miss), while key-3 is
+	// still resident (a hit).
+	_, missesBefore, _ := c.Stats()
+	get(0)
+	_, missesAfter, _ := c.Stats()
+	if missesAfter != missesBefore+1 {
+		t.Fatalf("re-fetch of evicted key: misses %d -> %d, want a new miss", missesBefore, missesAfter)
+	}
+	hitsBefore, _, _ := c.Stats()
+	get(3)
+	hitsAfter, _, _ := c.Stats()
+	if hitsAfter != hitsBefore+1 {
+		t.Fatalf("fetch of resident key: hits %d -> %d, want a hit", hitsBefore, hitsAfter)
+	}
+}
+
+func TestReportCacheLRUOrderFollowsUse(t *testing.T) {
+	c := NewReportCache()
+	one := serializedSize(fakeReport("app-0"))
+	c.SetByteBudget(2 * one)
+
+	get := func(i int) {
+		t.Helper()
+		if _, err := c.Report(fmt.Sprintf("key-%d", i), func() (*ffm.Report, error) {
+			return fakeReport(fmt.Sprintf("app-%d", i)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(0)
+	get(1)
+	get(0) // touch key-0: key-1 becomes LRU
+	get(2) // evicts key-1
+	hits, _, _ := c.Stats()
+	get(0)
+	hitsAfter, _, _ := c.Stats()
+	if hitsAfter != hits+1 {
+		t.Fatal("key-0 should have survived eviction (it was recently used)")
+	}
+}
+
+func TestReportCacheOversizedEntryRetained(t *testing.T) {
+	c := NewReportCache()
+	c.SetByteBudget(1) // smaller than any report
+	rep, err := c.Report("big", func() (*ffm.Report, error) { return fakeReport("big"), nil })
+	if err != nil || rep == nil {
+		t.Fatalf("oversized report: %v", err)
+	}
+	// Soft budget: the entry that triggered the pass survives ...
+	hits, _, _ := c.Stats()
+	if _, err := c.Report("big", func() (*ffm.Report, error) {
+		t.Fatal("oversized entry was evicted by its own arrival")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h, _, _ := c.Stats(); h != hits+1 {
+		t.Fatal("expected a cache hit on the retained oversized entry")
+	}
+	// ... but the next arrival evicts it.
+	if _, err := c.Report("next", func() (*ffm.Report, error) { return fakeReport("next"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ev := c.Evictions(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestSetByteBudgetSheddingExisting(t *testing.T) {
+	c := NewReportCache()
+	one := serializedSize(fakeReport("a"))
+	for i := 0; i < 4; i++ {
+		if _, err := c.Report(fmt.Sprintf("k%d", i), func() (*ffm.Report, error) {
+			return fakeReport("a"), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SetByteBudget(2 * one)
+	if got, want := c.Bytes(), 2*one; got != want {
+		t.Fatalf("bytes after shrink = %d, want %d", got, want)
+	}
+	if ev := c.Evictions(); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestRunKeyStableAcrossEngines(t *testing.T) {
+	a := NewEngine(1)
+	b := NewEngine(4) // worker counts must not influence keys
+	ka, ok := a.RunKey("rodinia_gaussian", 0.1)
+	if !ok {
+		t.Fatal("RunKey not cacheable")
+	}
+	kb, ok := b.RunKey("rodinia_gaussian", 0.1)
+	if !ok || ka != kb {
+		t.Fatalf("run keys differ across engine widths: %q vs %q", ka, kb)
+	}
+	if k2, _ := a.RunKey("rodinia_gaussian", 0.2); k2 == ka {
+		t.Fatal("scale not part of the run key")
+	}
+	if _, ok := a.RunKey("no_such_app", 0.1); ok {
+		t.Fatal("unknown app produced a key")
+	}
+}
+
+func TestSuiteKeyDistinguishesKindScopeScale(t *testing.T) {
+	e := NewEngine(1)
+	base, ok := e.SuiteKey("table1", 0.1, nil)
+	if !ok {
+		t.Fatal("suite key not cacheable")
+	}
+	if k, _ := e.SuiteKey("table2", 0.1, nil); k == base {
+		t.Fatal("kind not part of the suite key")
+	}
+	if k, _ := e.SuiteKey("table1", 0.2, nil); k == base {
+		t.Fatal("scale not part of the suite key")
+	}
+	if k, _ := e.SuiteKey("table1", 0.1, []string{"cuibm"}); k == base {
+		t.Fatal("scope not part of the suite key")
+	}
+	again, _ := e.SuiteKey("table1", 0.1, nil)
+	if again != base {
+		t.Fatal("suite key not deterministic")
+	}
+	if _, ok := e.SuiteKey("run", 0.1, []string{"no_such_app"}); ok {
+		t.Fatal("unknown app in scope produced a key")
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry's deterministic
+// plain-text rendering — the export hook a long-lived daemon mounts at
+// /metrics. A nil registry serves the "no metrics recorded" placeholder,
+// so wiring is unconditional.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.Write(w)
+	})
+}
+
+// Progress summarizes the trace's span activity for a live status display:
+// how many spans exist, how many have ended, and the name of the most
+// recently created span still open — "where the pipeline is right now".
+// The root span is excluded (it only ends when the trace does). Nil-safe.
+func (t *Trace) Progress() (total, ended int, current string) {
+	if t == nil {
+		return 0, 0, ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		for _, c := range s.children {
+			total++
+			if c.wall != 0 {
+				ended++
+			} else {
+				current = c.name
+			}
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return total, ended, current
+}

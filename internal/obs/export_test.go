@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve/jobs_submitted").Add(3)
+	r.Gauge("sched/jobqueue_depth").Set(2)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	for _, want := range []string{"serve/jobs_submitted", "3", "sched/jobqueue_depth"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestRegistryHandlerNil(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "no metrics recorded") {
+		t.Fatalf("nil registry: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestTraceProgress(t *testing.T) {
+	var nilTrace *Trace
+	if total, ended, cur := nilTrace.Progress(); total != 0 || ended != 0 || cur != "" {
+		t.Fatal("nil trace progress not zero")
+	}
+
+	tr := NewTrace("job")
+	if total, _, _ := tr.Progress(); total != 0 {
+		t.Fatal("fresh trace has spans")
+	}
+	run := tr.Root().Child(0, "pipeline", "run")
+	s1 := run.Child(1, "stage", "stage1-baseline")
+	s1.End()
+	s2 := run.Child(2, "stage", "stage2-detailed-tracing")
+
+	total, ended, cur := tr.Progress()
+	if total != 3 || ended != 1 {
+		t.Fatalf("progress = (%d, %d), want (3, 1)", total, ended)
+	}
+	if cur != "stage2-detailed-tracing" {
+		t.Fatalf("current span = %q", cur)
+	}
+	s2.End()
+	run.End()
+	total, ended, cur = tr.Progress()
+	if total != 3 || ended != 3 || cur != "" {
+		t.Fatalf("after ending all: (%d, %d, %q)", total, ended, cur)
+	}
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diogenes/internal/experiments"
+)
+
+// The pipeline is deterministic (virtual time, fixed seeds), so its
+// rendered markdown is a stable artifact. Golden files pin it: any
+// rendering or analysis drift shows up as a readable diff instead of a
+// silent change. Regenerate with:
+//
+//	go test ./internal/report/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenScale keeps the goldens fast to regenerate while exercising every
+// section of the document.
+const goldenScale = 0.05
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s: %v (regenerate with -update)", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenMarkdown(t *testing.T) {
+	eng := experiments.NewEngine(1)
+	for _, app := range []string{"rodinia_gaussian", "cuibm", "amg"} {
+		rep, err := eng.RunApp(app, goldenScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMarkdown(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, app+".md.golden", buf.Bytes())
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	rows, err := experiments.NewEngine(1).Table1(goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.txt.golden", buf.Bytes())
+}
+
+func TestGoldenTable2Sections(t *testing.T) {
+	names := []string{"rodinia_gaussian", "cuibm"}
+	sections, err := experiments.NewEngine(1).Table2(goldenScale, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table2Sections(&buf, names, sections); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2.txt.golden", buf.Bytes())
+}

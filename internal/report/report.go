@@ -154,6 +154,46 @@ func Table2(w io.Writer, app string, rows []experiments.Table2Row) error {
 	return nil
 }
 
+// Table2Sections writes Table 2 for several applications: one section per
+// name, blank-line separated. The CLI and the analysis service both render
+// through this function, so a served table2 report is byte-identical to
+// the terminal output for the same request.
+func Table2Sections(w io.Writer, names []string, sections [][]experiments.Table2Row) error {
+	for i, rows := range sections {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := Table2(w, names[i], rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AutofixTable writes the §6 verification table: every application's
+// manual fix next to the automatic correction. Shared by the CLI verify
+// command and the analysis service.
+func AutofixTable(w io.Writer, rows []experiments.AutofixRow) error {
+	if _, err := fmt.Fprintf(w, "%-18s %-22s %-26s %-14s %s\n",
+		"Application", "Manual fix (paper's)", "Automatic fix (elision)", "Calls elided", "Guard"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		guard := "ok"
+		if !r.Valid {
+			guard = "REJECTED: " + r.GuardViolation
+		}
+		fmt.Fprintf(w, "%-18s %8.3fs (%5.2f%%)    %8.3fs (%5.2f%%; est %.3fs) %10d    %s\n",
+			r.App,
+			r.ManualActual.Seconds(), r.ManualActualPct,
+			r.AutoRealized.Seconds(), r.AutoRealizedPct, r.AutoEstimated.Seconds(),
+			r.CallsElided, guard)
+	}
+	return nil
+}
+
 // AutofixPlan writes a patch plan: the corrections, their estimates, and
 // the problems the planner declined.
 func AutofixPlan(w io.Writer, plan PlanView) error {

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"diogenes/internal/obs"
+)
+
+// Queue is the serving counterpart to Pool's batch Run: a long-lived
+// bounded task queue draining into a fixed worker set. Pool answers "run
+// these N tasks and give me their results"; Queue answers "keep accepting
+// tasks until told to stop, refuse new ones the moment the backlog is
+// full, and drain everything that was accepted before shutting down".
+//
+// The explicit rejection signal — TryEnqueue returning false — is the
+// queue's whole point: it lets a caller translate a full backlog into
+// visible backpressure (an HTTP 429, a retry hint) instead of buffering
+// without bound. An accepted task is never dropped: it runs even if the
+// queue is closed immediately afterwards, with the same panic containment
+// as Pool, and Close blocks until the last accepted task has finished.
+type Queue struct {
+	tasks chan Task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// Telemetry (all instruments nil-safe; an unmetered queue pays only
+	// nil checks).
+	depth    *obs.Gauge
+	peak     *obs.Gauge
+	accepted *obs.Counter
+	rejected *obs.Counter
+	finished *obs.Counter
+	taskWall *obs.Histogram
+}
+
+// NewQueue returns a started queue running at most workers tasks
+// concurrently and holding at most capacity not-yet-started tasks.
+// workers follows New's convention (0 selects GOMAXPROCS); capacity must
+// be at least 1. The optional registry receives the queue's telemetry:
+// sched/jobqueue_depth, sched/jobqueue_depth_peak, sched/jobqueue_accepted,
+// sched/jobqueue_rejected, sched/jobqueue_finished and the per-task
+// sched/jobqueue_task_wall_ns histogram.
+func NewQueue(workers, capacity int, m *obs.Registry) (*Queue, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("sched: negative worker count %d", workers)
+	}
+	if workers == 0 {
+		p, _ := New(0)
+		workers = p.Workers()
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("sched: queue capacity %d, need at least 1", capacity)
+	}
+	q := &Queue{
+		tasks:    make(chan Task, capacity),
+		depth:    m.Gauge("sched/jobqueue_depth"),
+		peak:     m.Gauge("sched/jobqueue_depth_peak"),
+		accepted: m.Counter("sched/jobqueue_accepted"),
+		rejected: m.Counter("sched/jobqueue_rejected"),
+		finished: m.Counter("sched/jobqueue_finished"),
+		taskWall: m.Histogram("sched/jobqueue_task_wall_ns"),
+	}
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+// worker drains the task channel until it is closed.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for t := range q.tasks {
+		q.depth.Set(float64(len(q.tasks)))
+		start := time.Now()
+		// Errors and panics are the task's own business — a serving
+		// queue has no batch result slice to report them in, so tasks
+		// that care must capture their outcome themselves. The panic
+		// containment still matters: one broken job must not take the
+		// daemon down.
+		_ = runOne(context.Background(), t)
+		q.taskWall.Observe(int64(time.Since(start)))
+		q.finished.Inc()
+	}
+}
+
+// TryEnqueue offers a task to the queue. It returns false — the
+// backpressure signal — when the backlog is full or the queue is closed;
+// true means the task was accepted and will run.
+func (q *Queue) TryEnqueue(t Task) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.rejected.Inc()
+		return false
+	}
+	select {
+	case q.tasks <- t:
+		q.accepted.Inc()
+		d := float64(len(q.tasks))
+		q.depth.Set(d)
+		q.peak.SetMax(d)
+		return true
+	default:
+		q.rejected.Inc()
+		return false
+	}
+}
+
+// Depth returns the number of accepted tasks not yet picked up by a
+// worker.
+func (q *Queue) Depth() int { return len(q.tasks) }
+
+// Capacity returns the backlog bound.
+func (q *Queue) Capacity() int { return cap(q.tasks) }
+
+// Close stops accepting new tasks and blocks until every accepted task
+// has finished. It is idempotent and safe to call concurrently with
+// TryEnqueue.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.tasks)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"diogenes/internal/obs"
+)
+
+func TestQueueRunsAcceptedTasks(t *testing.T) {
+	q, err := NewQueue(2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	for i := 0; i < 4; i++ {
+		ok := q.TryEnqueue(Task{Name: "t", Fn: func(context.Context) error {
+			ran.Add(1)
+			return nil
+		}})
+		if !ok {
+			t.Fatalf("task %d rejected with free capacity", i)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d tasks, want 4", got)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	m := obs.NewRegistry()
+	q, err := NewQueue(1, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	block := Task{Name: "block", Fn: func(context.Context) error {
+		close(started)
+		<-gate
+		return nil
+	}}
+	if !q.TryEnqueue(block) {
+		t.Fatal("first task rejected")
+	}
+	<-started // worker busy; backlog empty
+	if !q.TryEnqueue(Task{Name: "fill", Fn: func(context.Context) error { return nil }}) {
+		t.Fatal("backlog slot rejected")
+	}
+	// Worker busy + backlog full: the next offers must be refused.
+	for i := 0; i < 3; i++ {
+		if q.TryEnqueue(Task{Name: "over", Fn: func(context.Context) error { return nil }}) {
+			t.Fatal("over-capacity task accepted")
+		}
+	}
+	close(gate)
+	q.Close()
+	if got := m.Counter("sched/jobqueue_rejected").Value(); got != 3 {
+		t.Fatalf("rejected counter = %d, want 3", got)
+	}
+	if got := m.Counter("sched/jobqueue_accepted").Value(); got != 2 {
+		t.Fatalf("accepted counter = %d, want 2", got)
+	}
+	if got := m.Counter("sched/jobqueue_finished").Value(); got != 2 {
+		t.Fatalf("finished counter = %d, want 2", got)
+	}
+}
+
+func TestQueueCloseDrainsAndRefuses(t *testing.T) {
+	q, err := NewQueue(1, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		if !q.TryEnqueue(Task{Name: "t", Fn: func(context.Context) error {
+			ran.Add(1)
+			return nil
+		}}) {
+			t.Fatalf("task %d rejected", i)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("drained %d tasks, want all 8", got)
+	}
+	if q.TryEnqueue(Task{Name: "late", Fn: func(context.Context) error { return nil }}) {
+		t.Fatal("closed queue accepted a task")
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueContainsPanics(t *testing.T) {
+	q, err := NewQueue(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after atomic.Bool
+	if !q.TryEnqueue(Task{Name: "boom", Fn: func(context.Context) error { panic("boom") }}) {
+		t.Fatal("panic task rejected")
+	}
+	if !q.TryEnqueue(Task{Name: "after", Fn: func(context.Context) error {
+		after.Store(true)
+		return nil
+	}}) {
+		t.Fatal("follow-up task rejected")
+	}
+	q.Close()
+	if !after.Load() {
+		t.Fatal("worker died with the panicking task")
+	}
+}
+
+func TestQueueConcurrentEnqueueClose(t *testing.T) {
+	q, err := NewQueue(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				q.TryEnqueue(Task{Name: "t", Fn: func(context.Context) error { return nil }})
+			}
+		}()
+	}
+	q.Close()
+	wg.Wait()
+}
+
+func TestQueueRejectsBadConfig(t *testing.T) {
+	if _, err := NewQueue(-1, 1, nil); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := NewQueue(1, 0, nil); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

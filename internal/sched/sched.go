@@ -171,7 +171,7 @@ func (p *Pool) Run(ctx context.Context, tasks ...Task) ([]Result, error) {
 					continue
 				}
 				start := time.Now()
-				results[i].Err = p.runOne(runCtx, tasks[i])
+				results[i].Err = runOne(runCtx, tasks[i])
 				elapsed := time.Since(start)
 				busyNS.Add(int64(elapsed))
 				taskWall.Observe(int64(elapsed))
@@ -191,7 +191,8 @@ func (p *Pool) Run(ctx context.Context, tasks ...Task) ([]Result, error) {
 }
 
 // runOne executes a single task, converting a panic into a *PanicError.
-func (p *Pool) runOne(ctx context.Context, t Task) (err error) {
+// It is shared by the batch Pool and the serving Queue.
+func runOne(ctx context.Context, t Task) (err error) {
 	if t.Fn == nil {
 		return fmt.Errorf("sched: task %q has no function", t.Name)
 	}

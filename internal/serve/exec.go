@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"diogenes/internal/autofix"
+	"diogenes/internal/experiments"
+	"diogenes/internal/report"
+)
+
+// ResultDoc is a completed job's persisted document: the machine-readable
+// payload plus the text rendering byte-identical to the CLI's output for
+// the same request. Both are produced at completion time so a stored
+// document can be served in either format without re-materializing any
+// pipeline state.
+type ResultDoc struct {
+	Kind  string   `json:"kind"`
+	App   string   `json:"app,omitempty"`
+	Apps  []string `json:"apps,omitempty"`
+	Scale float64  `json:"scale"`
+	// JSON is the kind-specific payload: the full ffm report document for
+	// "run", the row sets for the table kinds.
+	JSON json.RawMessage `json:"json,omitempty"`
+	// Text is the human rendering: Markdown for "run" (the CLI's -md
+	// export), the terminal table text for the suite kinds.
+	Text string `json:"text"`
+}
+
+// taskFn wraps one job for the queue: state transitions, per-job context
+// cancellation and timeout, persistence, and terminal accounting. The
+// returned function never reports an error to the queue — a job's outcome
+// lives on the job itself.
+func (s *Server) taskFn(j *Job, eng *experiments.Engine) func(context.Context) error {
+	return func(context.Context) error {
+		if !j.setRunning() {
+			return nil // canceled while queued; already terminal
+		}
+		if h := s.hookRunning; h != nil {
+			h(j)
+		}
+		ctx := j.ctx
+		if j.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, j.timeout)
+			defer cancel()
+		}
+		type outcome struct {
+			doc []byte
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			doc, err := s.runJob(eng, j.Req)
+			ch <- outcome{doc, err}
+		}()
+		select {
+		case <-ctx.Done():
+			// Canceled or timed out. The pipeline goroutine finishes on
+			// its own (the simulated runs are short) and its result is
+			// discarded — never persisted, never visible.
+			msg := "job canceled"
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				msg = fmt.Sprintf("job timed out after %s", j.timeout)
+			}
+			if j.finish(StateCanceled, msg, nil) {
+				s.mCanceled.Inc()
+			}
+		case o := <-ch:
+			if o.err != nil {
+				if j.finish(StateFailed, o.err.Error(), nil) {
+					s.mFailed.Inc()
+				}
+				return nil
+			}
+			// Persist before announcing completion so a graceful
+			// shutdown that drains this job also flushes its report.
+			if j.storeKey != "" && s.store != nil {
+				if err := s.store.Put(j.storeKey, o.doc); err != nil {
+					s.mStorePutErr.Inc()
+				}
+			}
+			if j.finish(StateDone, "", o.doc) {
+				s.mCompleted.Inc()
+			}
+		}
+		return nil
+	}
+}
+
+// runJob executes the request on the job's engine and renders its result
+// document.
+func (s *Server) runJob(eng *experiments.Engine, req Request) ([]byte, error) {
+	doc := ResultDoc{Kind: req.Kind, App: req.App, Apps: req.Apps, Scale: req.Scale}
+	var text bytes.Buffer
+	switch req.Kind {
+	case KindRun:
+		rep, err := eng.RunApp(req.App, req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		var payload bytes.Buffer
+		if err := rep.WriteJSON(&payload); err != nil {
+			return nil, err
+		}
+		doc.JSON = payload.Bytes()
+		if err := report.WriteMarkdown(&text, rep); err != nil {
+			return nil, err
+		}
+	case KindTable1:
+		rows, err := eng.Table1(req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if doc.JSON, err = json.Marshal(rows); err != nil {
+			return nil, err
+		}
+		if err := report.Table1(&text, rows); err != nil {
+			return nil, err
+		}
+	case KindTable2:
+		sections, err := eng.Table2(req.Scale, req.Apps)
+		if err != nil {
+			return nil, err
+		}
+		if doc.JSON, err = json.Marshal(sections); err != nil {
+			return nil, err
+		}
+		if err := report.Table2Sections(&text, req.Apps, sections); err != nil {
+			return nil, err
+		}
+	case KindAutofix:
+		rows, err := autofix.TableWith(eng, req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		if doc.JSON, err = json.Marshal(rows); err != nil {
+			return nil, err
+		}
+		if err := report.AutofixTable(&text, rows); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown kind %q", req.Kind)
+	}
+	doc.Text = text.String()
+	return json.MarshalIndent(&doc, "", "  ")
+}
+
+// decodeResult parses a job's stored result document.
+func decodeResult(data []byte) (*ResultDoc, error) {
+	var doc ResultDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("serve: corrupt result document: %w", err)
+	}
+	return &doc, nil
+}

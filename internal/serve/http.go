@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxRequestBody bounds a submission document; analysis requests are a
+// few hundred bytes, so anything near this is garbage.
+const maxRequestBody = 1 << 20
+
+// buildMux wires the API:
+//
+//	POST   /jobs             submit an analysis job
+//	GET    /jobs             list retained jobs
+//	GET    /jobs/{id}        job status + span-derived progress
+//	DELETE /jobs/{id}        cancel a job
+//	GET    /jobs/{id}/report completed report (?format=json|text)
+//	GET    /healthz          liveness + queue occupancy
+//	GET    /metrics          the server's obs registry, plain text
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.obs.Metrics().Handler())
+	s.mux = mux
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+}
+
+// retryAfterSeconds renders the configured backoff hint, at least 1.
+func (s *Server) retryAfterSeconds() int {
+	secs := int((s.opts.RetryAfter + 999999999) / 1000000000)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), RetryAfterSeconds: s.retryAfterSeconds()})
+	case errors.Is(err, ErrQueueFull):
+		// The backpressure contract: a full backlog is a visible 429
+		// with a retry hint, never silent unbounded buffering.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSeconds: s.retryAfterSeconds()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		code := http.StatusAccepted
+		if j.State() == StateDone {
+			code = http.StatusOK // answered from the persistent store
+		}
+		writeJSON(w, code, j.View())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Job(id).View())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	data := j.Result()
+	if data == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job %s is %s, not done", j.ID, j.State())})
+		return
+	}
+	doc, err := decodeResult(data)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc.JSON)
+	case "text", "txt", "md", "markdown":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(doc.Text))
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown format %q (want json or text)", format)})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"accepting":     s.accepting.Load(),
+		"queueDepth":    s.queue.Depth(),
+		"queueCapacity": s.queue.Capacity(),
+		"jobs":          len(s.Jobs()),
+	})
+}

@@ -1,0 +1,296 @@
+// Package serve runs the Diogenes analysis pipeline as a long-lived
+// daemon behind an HTTP/JSON API — the serving layer the one-shot CLI
+// lacks. Three pieces, each honest about its limits:
+//
+//   - A job manager: POST an analysis request (application, scale,
+//     experiment kind, worker count), get a job ID back. Jobs flow
+//     through a bounded sched.Queue into a worker set with per-job
+//     context cancellation and a configurable timeout. A full backlog is
+//     *visible* backpressure — HTTP 429 with Retry-After — never
+//     unbounded buffering, and a job the server accepted is never
+//     dropped, even across graceful shutdown.
+//   - A report store: completed job documents persist to a
+//     content-addressed on-disk store keyed by the experiments suite key,
+//     so an identical request is served from disk without re-running the
+//     pipeline. The store carries an LRU byte budget; eviction is
+//     explicit and counted.
+//   - An operational surface: /healthz, job status with progress derived
+//     from the job's own obs span state, report retrieval as JSON or the
+//     CLI-identical text rendering, and /metrics exporting the server's
+//     obs registry.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"diogenes/internal/experiments"
+	"diogenes/internal/obs"
+	"diogenes/internal/sched"
+)
+
+// Options configures a Server. The zero value is serviceable: an
+// in-memory-only server (no persistent store) with a 16-job backlog and
+// one job running per core.
+type Options struct {
+	// Workers bounds how many jobs execute concurrently; 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueCapacity bounds how many accepted jobs may wait for a worker;
+	// beyond it submissions are rejected with ErrQueueFull. 0 selects 16.
+	QueueCapacity int
+	// EngineWorkers is the default per-job experiment engine width when a
+	// request does not name one; 0 selects 1 (serial, byte-identical to
+	// the parallel widths anyway).
+	EngineWorkers int
+	// DefaultTimeout caps each job's execution when the request carries no
+	// timeout of its own; 0 means no cap.
+	DefaultTimeout time.Duration
+	// RetryAfter is the backoff hint sent with 429/503 responses; 0
+	// selects one second.
+	RetryAfter time.Duration
+	// StoreDir, when non-empty, enables the persistent report store in
+	// that directory (created if absent).
+	StoreDir string
+	// StoreBudget is the on-disk store's LRU byte budget; 0 is unbounded.
+	StoreBudget int64
+	// CacheBudget bounds the in-memory report cache shared by all jobs;
+	// 0 is unbounded.
+	CacheBudget int64
+	// RetainJobs bounds how many finished job records the manager keeps
+	// for status queries; 0 selects 1024. Live jobs are never dropped.
+	RetainJobs int
+}
+
+// Sentinel errors Submit maps to HTTP statuses.
+var (
+	// ErrQueueFull reports that the bounded backlog rejected the job —
+	// the server's backpressure signal (HTTP 429).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrShuttingDown reports that the server no longer accepts jobs
+	// (HTTP 503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// BadRequestError wraps a request validation failure (HTTP 400).
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// Server is the analysis service. Create with New, mount Handler, and
+// call Shutdown to drain.
+type Server struct {
+	opts  Options
+	obs   *obs.Observer
+	cache *experiments.ReportCache
+	store *DiskStore
+	queue *sched.Queue
+	jobs  *manager
+	mux   *http.ServeMux
+
+	accepting atomic.Bool
+
+	mSubmitted   *obs.Counter
+	mRejected    *obs.Counter
+	mCompleted   *obs.Counter
+	mFailed      *obs.Counter
+	mCanceled    *obs.Counter
+	mStorePutErr *obs.Counter
+
+	// hookRunning, when non-nil, is called as each job enters the running
+	// state — a test seam for holding jobs in flight deterministically.
+	hookRunning func(j *Job)
+}
+
+// New builds a started server (its workers idle until jobs arrive).
+func New(opts Options) (*Server, error) {
+	if opts.QueueCapacity == 0 {
+		opts.QueueCapacity = 16
+	}
+	if opts.QueueCapacity < 1 {
+		return nil, fmt.Errorf("serve: queue capacity %d, need at least 1", opts.QueueCapacity)
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	if opts.RetainJobs == 0 {
+		opts.RetainJobs = 1024
+	}
+	o := obs.New("diogenes-serve")
+	s := &Server{
+		opts:  opts,
+		obs:   o,
+		cache: experiments.NewReportCache(),
+		jobs:  newManager(opts.RetainJobs),
+
+		mSubmitted:   o.Metrics().Counter("serve/jobs_submitted"),
+		mRejected:    o.Metrics().Counter("serve/jobs_rejected"),
+		mCompleted:   o.Metrics().Counter("serve/jobs_completed"),
+		mFailed:      o.Metrics().Counter("serve/jobs_failed"),
+		mCanceled:    o.Metrics().Counter("serve/jobs_canceled"),
+		mStorePutErr: o.Metrics().Counter("serve/store_put_errors"),
+	}
+	s.cache.SetMetrics(o.Metrics())
+	if opts.CacheBudget > 0 {
+		s.cache.SetByteBudget(opts.CacheBudget)
+	}
+	if opts.StoreDir != "" {
+		store, err := OpenDiskStore(opts.StoreDir, opts.StoreBudget)
+		if err != nil {
+			return nil, err
+		}
+		store.SetMetrics(o.Metrics())
+		s.store = store
+	}
+	q, err := sched.NewQueue(opts.Workers, opts.QueueCapacity, o.Metrics())
+	if err != nil {
+		return nil, err
+	}
+	s.queue = q
+	s.accepting.Store(true)
+	s.buildMux()
+	return s, nil
+}
+
+// Observer exposes the server-level self-measurement (queue, store,
+// cache, job counters) — what /metrics renders.
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// Store returns the persistent report store, or nil when disabled.
+func (s *Server) Store() *DiskStore { return s.store }
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Submit validates a request and either answers it from the persistent
+// store (the returned job is already done, FromStore set) or enqueues it.
+// Errors: *BadRequestError, ErrQueueFull, ErrShuttingDown.
+func (s *Server) Submit(req Request) (*Job, error) {
+	if !s.accepting.Load() {
+		return nil, ErrShuttingDown
+	}
+	if err := req.normalize(); err != nil {
+		return nil, &BadRequestError{err}
+	}
+	s.mSubmitted.Inc()
+
+	jobObs := obs.New("job")
+	eng := s.engineFor(&req, jobObs)
+	key, _ := s.keyFor(eng, req)
+	timeout := time.Duration(req.TimeoutSeconds * float64(time.Second))
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	j := newJob(req, jobObs, key, timeout)
+
+	if key != "" && s.store != nil && !req.Fresh {
+		if data, err := s.store.Get(key); err == nil {
+			j.markFromStore(data)
+			s.jobs.add(j)
+			s.mCompleted.Inc()
+			return j, nil
+		}
+	}
+
+	s.jobs.add(j)
+	ok := s.queue.TryEnqueue(sched.Task{Name: "job/" + req.Kind, Fn: s.taskFn(j, eng)})
+	if !ok {
+		s.jobs.remove(j.ID)
+		s.mRejected.Inc()
+		if !s.accepting.Load() {
+			return nil, ErrShuttingDown
+		}
+		return nil, ErrQueueFull
+	}
+	return j, nil
+}
+
+// Job returns a job by ID, or nil.
+func (s *Server) Job(id string) *Job { return s.jobs.get(id) }
+
+// Jobs returns all retained jobs in submission order.
+func (s *Server) Jobs() []*Job { return s.jobs.list() }
+
+// Cancel cancels a job: a queued job finishes immediately as canceled, a
+// running job's context is canceled and its eventual result discarded.
+// Canceling a finished job is a no-op. It reports whether the ID was
+// known.
+func (s *Server) Cancel(id string) bool {
+	j := s.jobs.get(id)
+	if j == nil {
+		return false
+	}
+	j.cancel()
+	if j.finishIfQueued(StateCanceled, "job canceled before start") {
+		s.mCanceled.Inc()
+	}
+	return true
+}
+
+// Shutdown gracefully stops the server: new submissions are refused with
+// ErrShuttingDown, every accepted job is drained (queued jobs run, the
+// in-flight ones finish and persist their reports), and the store is
+// flushed. The context bounds the drain; on expiry the drain continues in
+// the background but Shutdown returns the context error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.accepting.Store(false)
+	done := make(chan struct{})
+	go func() {
+		s.queue.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown drain: %w", ctx.Err())
+	}
+	if s.store != nil {
+		s.store.Flush()
+	}
+	return nil
+}
+
+// engineFor builds the per-job experiment engine: its own observer (so
+// job progress and spans are attributable to exactly one job), the
+// server-shared report cache, and the requested width. A fresh request
+// runs uncached — "fresh" means the pipeline actually executes, not just
+// that the disk store is skipped.
+func (s *Server) engineFor(req *Request, o *obs.Observer) *experiments.Engine {
+	w := req.Workers
+	if w == 0 {
+		w = s.opts.EngineWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	cache := s.cache
+	if req.Fresh {
+		cache = nil
+	}
+	e := &experiments.Engine{Workers: w, Cache: cache, Obs: o}
+	if w > 1 {
+		e.StageWorkers = 2
+	}
+	return e
+}
+
+// keyFor computes the job's content-addressed store key ("" when the
+// request is not cacheable).
+func (s *Server) keyFor(eng *experiments.Engine, req Request) (string, bool) {
+	switch req.Kind {
+	case KindRun:
+		return eng.SuiteKey(KindRun, req.Scale, []string{req.App})
+	case KindTable1:
+		return eng.SuiteKey(KindTable1, req.Scale, nil)
+	case KindTable2:
+		return eng.SuiteKey(KindTable2, req.Scale, req.Apps)
+	case KindAutofix:
+		return eng.SuiteKey(KindAutofix, req.Scale, nil)
+	}
+	return "", false
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"diogenes/internal/experiments"
+	"diogenes/internal/obs"
+)
+
+// storeExt suffixes every stored entry, separating them from temp files.
+const storeExt = ".bin"
+
+// DiskStore is a content-addressed persistent report store: one file per
+// key under one directory, with an LRU byte budget enforced on write.
+// Reads bump the entry's mtime, so eviction order follows use, not just
+// insertion.
+//
+// The store is safe for concurrent use within a process and degrades
+// gracefully across processes sharing the directory: writes are
+// temp-file-plus-rename atomic, and a read racing another instance's
+// eviction reports a miss, never a torn value. It implements
+// experiments.Store.
+type DiskStore struct {
+	dir    string
+	budget int64
+
+	// mu serializes this instance's eviction scans; Get/Put themselves
+	// rely on filesystem atomicity.
+	mu sync.Mutex
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	puts      *obs.Counter
+	evictions *obs.Counter
+	bytes     *obs.Gauge
+}
+
+var _ experiments.Store = (*DiskStore)(nil)
+
+// OpenDiskStore opens (creating if needed) a store in dir with the given
+// LRU byte budget; budget <= 0 is unbounded.
+func OpenDiskStore(dir string, budget int64) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: store directory must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open store: %w", err)
+	}
+	return &DiskStore{dir: dir, budget: budget}, nil
+}
+
+// SetMetrics mirrors store traffic to a registry: store/hits,
+// store/misses, store/puts, store/evictions and the resident store/bytes
+// gauge.
+func (d *DiskStore) SetMetrics(m *obs.Registry) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hits = m.Counter("store/hits")
+	d.misses = m.Counter("store/misses")
+	d.puts = m.Counter("store/puts")
+	d.evictions = m.Counter("store/evictions")
+	d.bytes = m.Gauge("store/bytes")
+}
+
+// Dir returns the store's directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// path maps a key to its file, refusing anything that is not a plain
+// lower-case hex digest — keys are content addresses, and nothing else
+// may name a file here.
+func (d *DiskStore) path(key string) (string, error) {
+	if key == "" || len(key) > 128 {
+		return "", fmt.Errorf("serve: invalid store key %q", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("serve: invalid store key %q", key)
+		}
+	}
+	return filepath.Join(d.dir, key+storeExt), nil
+}
+
+// Get returns the stored bytes for key, bumping its recency, or
+// experiments.ErrNotFound.
+func (d *DiskStore) Get(key string) ([]byte, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		d.misses.Inc()
+		return nil, experiments.ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	_ = os.Chtimes(p, now, now) // best-effort recency bump
+	d.hits.Inc()
+	return b, nil
+}
+
+// Put stores val under key atomically (temp file + rename), then enforces
+// the byte budget by evicting the least recently used entries. The entry
+// just written is never its own eviction victim, so the budget is soft by
+// at most one oversized document.
+func (d *DiskStore) Put(key string, val []byte) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	_, werr := tmp.Write(val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store put: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	d.puts.Inc()
+	d.enforceBudget(p)
+	return nil
+}
+
+// storeEntry is one scanned file during budget enforcement.
+type storeEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// enforceBudget scans the directory and removes oldest-use entries until
+// the total fits the budget, keeping the just-written file. It also
+// refreshes the resident-bytes gauge.
+func (d *DiskStore) enforceBudget(keep string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dirents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	var entries []storeEntry
+	var total int64
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), storeExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with another instance's eviction
+		}
+		entries = append(entries, storeEntry{
+			path:  filepath.Join(d.dir, de.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+		total += info.Size()
+	}
+	if d.budget > 0 {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+		for _, e := range entries {
+			if total <= d.budget {
+				break
+			}
+			if e.path == keep {
+				continue
+			}
+			// Count the bytes as gone even if another instance removed
+			// the file first — either way it no longer occupies space.
+			if err := os.Remove(e.path); err == nil || errors.Is(err, fs.ErrNotExist) {
+				total -= e.size
+				d.evictions.Inc()
+			}
+		}
+	}
+	d.bytes.Set(float64(total))
+}
+
+// Flush pushes the directory's metadata to stable storage, best-effort —
+// entry contents were written and renamed already, so this is the final
+// durability nudge at graceful shutdown.
+func (d *DiskStore) Flush() {
+	if d == nil {
+		return
+	}
+	if f, err := os.Open(d.dir); err == nil {
+		_ = f.Sync() // some filesystems refuse dir fsync; that's fine
+		f.Close()
+	}
+}
+
+// Len returns the number of stored entries (diagnostic).
+func (d *DiskStore) Len() int {
+	dirents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, de := range dirents {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), storeExt) {
+			n++
+		}
+	}
+	return n
+}
