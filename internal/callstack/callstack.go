@@ -152,6 +152,15 @@ func Demangle(name string) string {
 type Stack struct {
 	frames  []Frame
 	depthHW int // high-water mark, for diagnostics
+
+	// Shared-snapshot interning. Applications sit in the same loop for
+	// thousands of driver calls, so the same stack is snapshotted over and
+	// over; interning makes the steady-state cost of SharedSnapshot one
+	// hash of the frames instead of one allocation per traced call.
+	version     uint64           // bumped by every Push/Pop/SetLine
+	snapVersion uint64           // stack version snapTrace was taken at
+	snapTrace   Trace            // memoized snapshot for snapVersion
+	interned    map[uint64][]Trace // frame-content hash -> traces (collision chain)
 }
 
 // New returns an empty stack.
@@ -164,6 +173,7 @@ func (s *Stack) Push(function, file string, line int) {
 	if len(s.frames) > s.depthHW {
 		s.depthHW = len(s.frames)
 	}
+	s.version++
 }
 
 // Pop leaves the current function. Popping an empty stack is a framework
@@ -173,6 +183,7 @@ func (s *Stack) Pop() {
 		panic("callstack: pop of empty stack")
 	}
 	s.frames = s.frames[:len(s.frames)-1]
+	s.version++
 }
 
 // SetLine updates the source line of the innermost frame, modelling the
@@ -182,6 +193,7 @@ func (s *Stack) SetLine(line int) {
 		panic("callstack: SetLine with empty stack")
 	}
 	s.frames[len(s.frames)-1].Line = line
+	s.version++
 }
 
 // Depth returns the current nesting depth.
@@ -197,6 +209,72 @@ func (s *Stack) Snapshot() Trace {
 		t[i] = s.frames[len(s.frames)-1-i]
 	}
 	return t
+}
+
+// SharedSnapshot returns the current trace, innermost frame first, interned:
+// repeated snapshots of an identical stack return the *same* Trace value.
+// The returned trace is shared and must be treated as immutable — consumers
+// that need a private mutable copy should Clone it. Records holding shared
+// traces serialize identically to ones holding private copies.
+func (s *Stack) SharedSnapshot() Trace {
+	if s.snapVersion == s.version && s.snapTrace != nil {
+		return s.snapTrace
+	}
+	h := s.frameHash()
+	if s.interned == nil {
+		s.interned = make(map[uint64][]Trace)
+	}
+	for _, t := range s.interned[h] {
+		if s.matches(t) {
+			s.snapTrace = t
+			s.snapVersion = s.version
+			return t
+		}
+	}
+	t := s.Snapshot()
+	if len(t) == 0 {
+		t = emptyTrace
+	}
+	s.interned[h] = append(s.interned[h], t)
+	s.snapTrace = t
+	s.snapVersion = s.version
+	return t
+}
+
+// emptyTrace is the shared snapshot of an empty stack; non-nil so it
+// serializes exactly like the zero-length Trace Snapshot returns.
+var emptyTrace = make(Trace, 0)
+
+// frameHash is an FNV-1a hash over the live frames, cheap enough to compute
+// per snapshot without allocating.
+func (s *Stack) frameHash() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := range s.frames {
+		f := &s.frames[i]
+		for _, str := range [2]string{f.Function, f.File} {
+			for j := 0; j < len(str); j++ {
+				h = (h ^ uint64(str[j])) * prime
+			}
+			h = (h ^ 0xff) * prime
+		}
+		h = (h ^ uint64(f.Line)) * prime
+	}
+	return h
+}
+
+// matches reports whether t equals the current stack rendered
+// innermost-first.
+func (s *Stack) matches(t Trace) bool {
+	if len(t) != len(s.frames) {
+		return false
+	}
+	for i := range t {
+		if t[i] != s.frames[len(s.frames)-1-i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Current returns the innermost frame without copying the whole stack.

@@ -196,3 +196,62 @@ func TestQuickPushPopRestoresDepth(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSharedSnapshotMatchesSnapshot(t *testing.T) {
+	s := New()
+	s.Push("main", "main.cpp", 1)
+	s.Push("solve", "solve.cpp", 10)
+	if got, want := s.SharedSnapshot(), s.Snapshot(); !got.Equal(want) {
+		t.Fatalf("SharedSnapshot = %v, want %v", got, want)
+	}
+	s.SetLine(11)
+	if got, want := s.SharedSnapshot(), s.Snapshot(); !got.Equal(want) {
+		t.Fatalf("after SetLine: SharedSnapshot = %v, want %v", got, want)
+	}
+	s.Pop()
+	if got, want := s.SharedSnapshot(), s.Snapshot(); !got.Equal(want) {
+		t.Fatalf("after Pop: SharedSnapshot = %v, want %v", got, want)
+	}
+}
+
+func TestSharedSnapshotInterns(t *testing.T) {
+	s := New()
+	s.Push("main", "main.cpp", 1)
+	s.Push("loop", "loop.cpp", 5)
+	a := s.SharedSnapshot()
+	// Leave and re-enter the same position: the trace must be the very
+	// same slice, not merely an equal one.
+	s.Pop()
+	s.Push("loop", "loop.cpp", 5)
+	b := s.SharedSnapshot()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("identical stacks produced distinct snapshot allocations")
+	}
+	// Repeated snapshots without mutation hit the memoized fast path.
+	c := s.SharedSnapshot()
+	if &b[0] != &c[0] {
+		t.Fatal("memoized snapshot not reused")
+	}
+}
+
+func TestSharedSnapshotEmptyStack(t *testing.T) {
+	s := New()
+	got := s.SharedSnapshot()
+	if got == nil || len(got) != 0 {
+		t.Fatalf("empty SharedSnapshot = %#v, want non-nil empty trace", got)
+	}
+}
+
+func TestSharedSnapshotDistinctLines(t *testing.T) {
+	s := New()
+	s.Push("f", "f.cpp", 1)
+	a := s.SharedSnapshot()
+	s.SetLine(2)
+	b := s.SharedSnapshot()
+	if a.Equal(b) {
+		t.Fatal("snapshots at different lines compare equal")
+	}
+	if a[0].Line != 1 || b[0].Line != 2 {
+		t.Fatalf("interned traces mutated: %v / %v", a, b)
+	}
+}

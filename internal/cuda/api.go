@@ -118,7 +118,7 @@ func (c *Context) MemcpyH2D(dst gpu.DevPtr, src memory.Addr, n int) error {
 	call := c.beginCall(FuncMemcpy, KindTransfer)
 	defer c.endCall(call)
 	c.clock.Advance(c.cfg.MemcpySetupCost)
-	data, err := c.host.Peek(src, n)
+	data, err := c.host.PeekView(src, n)
 	if err != nil {
 		return err
 	}
@@ -145,7 +145,7 @@ func (c *Context) MemcpyD2H(dst memory.Addr, src gpu.DevPtr, n int) error {
 	call := c.beginCall(FuncMemcpy, KindTransfer)
 	defer c.endCall(call)
 	c.clock.Advance(c.cfg.MemcpySetupCost)
-	data, err := c.devs[c.cur].DevRead(src, n)
+	data, err := c.devs[c.cur].DevReadView(src, n)
 	if err != nil {
 		return err
 	}
@@ -168,7 +168,7 @@ func (c *Context) MemcpyD2D(dst, src gpu.DevPtr, n int) error {
 	call := c.beginCall(FuncMemcpy, KindTransfer)
 	defer c.endCall(call)
 	c.clock.Advance(c.cfg.MemcpySetupCost)
-	data, err := c.devs[c.cur].DevRead(src, n)
+	data, err := c.devs[c.cur].DevReadView(src, n)
 	if err != nil {
 		return err
 	}
@@ -194,7 +194,7 @@ func (c *Context) MemcpyAsyncH2D(dst gpu.DevPtr, src memory.Addr, n int, stream 
 	call := c.beginCall(FuncMemcpyAsync, KindTransfer)
 	defer c.endCall(call)
 	c.clock.Advance(c.cfg.MemcpySetupCost)
-	data, err := c.host.Peek(src, n)
+	data, err := c.host.PeekView(src, n)
 	if err != nil {
 		return err
 	}
@@ -223,7 +223,7 @@ func (c *Context) MemcpyAsyncD2H(dst memory.Addr, src gpu.DevPtr, n int, stream 
 	call := c.beginCall(FuncMemcpyAsync, KindTransfer)
 	defer c.endCall(call)
 	c.clock.Advance(c.cfg.MemcpySetupCost)
-	data, err := c.devs[c.cur].DevRead(src, n)
+	data, err := c.devs[c.cur].DevReadView(src, n)
 	if err != nil {
 		return err
 	}
@@ -398,7 +398,7 @@ func (c *Context) MemcpyPeer(dstDev int, dst gpu.DevPtr, srcDev int, src gpu.Dev
 	if dstDev < 0 || dstDev >= len(c.devs) || srcDev < 0 || srcDev >= len(c.devs) {
 		return fmt.Errorf("cuda: MemcpyPeer devices %d->%d with %d devices", srcDev, dstDev, len(c.devs))
 	}
-	data, err := c.devs[srcDev].DevRead(src, n)
+	data, err := c.devs[srcDev].DevReadView(src, n)
 	if err != nil {
 		return err
 	}

@@ -263,7 +263,7 @@ func (c *Context) elided(fn Func) bool {
 	if c.filter == nil {
 		return false
 	}
-	if c.filter(fn, c.stack.Snapshot()) != Suppress {
+	if c.filter(fn, c.stack.SharedSnapshot()) != Suppress {
 		return false
 	}
 	c.suppressed[fn]++
@@ -387,7 +387,7 @@ func (c *Context) beginCall(fn Func, kind CallKind) *Call {
 	c.calls[fn]++
 	c.totalCalls++
 	if c.captureStacks && c.probed(fn) {
-		call.Stack = c.stack.Snapshot()
+		call.Stack = c.stack.SharedSnapshot()
 	}
 	c.fireEntry(fn, call)
 	c.clock.Advance(c.cfg.CallOverhead)
@@ -426,7 +426,7 @@ func (c *Context) touchInternal(fn Func) {
 func (c *Context) internalSync(until simtime.Time, scope SyncScope, outer *Call) {
 	syncCall := &Call{Func: FuncInternalSync, Kind: KindSync, Entry: c.clock.Now(), Scope: scope, Caller: outer.Func}
 	if c.captureStacks && c.probed(FuncInternalSync) {
-		syncCall.Stack = c.stack.Snapshot()
+		syncCall.Stack = c.stack.SharedSnapshot()
 	}
 	syncCall.SyncStart = c.clock.Now()
 	c.fireEntry(FuncInternalSync, syncCall)

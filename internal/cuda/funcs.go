@@ -232,7 +232,10 @@ type Call struct {
 	Stream   gpu.StreamID
 
 	// Payload holds the transferred bytes when payload capture is enabled
-	// (stage 3 data hashing). Nil otherwise.
+	// (stage 3 data hashing). Nil otherwise. It is a read-only view that
+	// may alias live simulated memory: probes must consume it inside the
+	// exit callback — copying if they need the bytes afterwards — and must
+	// never write through it.
 	Payload []byte
 
 	// Stack is the application call stack at entry, captured only when

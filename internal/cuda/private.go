@@ -39,7 +39,7 @@ func (c *Context) PrivateMemcpyD2H(dst memory.Addr, src gpu.DevPtr, n int) error
 	call := c.beginCall(FuncPrivateMemcpy, KindTransfer)
 	defer c.endCall(call)
 	c.clock.Advance(c.cfg.MemcpySetupCost)
-	data, err := c.devs[c.cur].DevRead(src, n)
+	data, err := c.devs[c.cur].DevReadView(src, n)
 	if err != nil {
 		return err
 	}

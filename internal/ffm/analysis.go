@@ -85,19 +85,27 @@ func Analyze(annotated *trace.Run, opts AnalysisOptions) *Analysis {
 // seen before is an unnecessary (duplicate) transfer.
 func BuildGraph(run *trace.Run, opts AnalysisOptions) *graph.Graph {
 	g := graph.New(run.ExecTime)
+	// One backing array for every node the build can produce (a gap node
+	// per record, the record's own node, and the tail), sized up front so
+	// pointers into it stay stable: one allocation instead of one per node.
+	backing := make([]graph.Node, 0, 2*len(run.Records)+1)
+	alloc := func(n graph.Node) *graph.Node {
+		backing = append(backing, n)
+		return &backing[len(backing)-1]
+	}
 	var cursor simtime.Time
 	for i := range run.Records {
 		rec := &run.Records[i]
 		if gap := rec.Entry.Sub(cursor); gap > 0 {
-			g.AddCPU(&graph.Node{Type: graph.CWork, STime: cursor, OutCPU: gap})
+			g.AddCPU(alloc(graph.Node{Type: graph.CWork, STime: cursor, OutCPU: gap}))
 		}
-		n := &graph.Node{
+		n := alloc(graph.Node{
 			STime:  rec.Entry,
 			OutCPU: rec.Duration(),
 			Func:   rec.Func,
 			Stack:  rec.Stack,
 			Seq:    rec.Seq,
-		}
+		})
 		// Node type: anything that waited on the device is a CWait on the
 		// CPU timeline (synchronous transfers included — unrealized wait
 		// removed upstream reappears at them); a purely asynchronous
@@ -128,7 +136,7 @@ func BuildGraph(run *trace.Run, opts AnalysisOptions) *graph.Graph {
 		}
 	}
 	if tail := simtime.Time(run.ExecTime).Sub(cursor); tail > 0 {
-		g.AddCPU(&graph.Node{Type: graph.CWork, STime: cursor, OutCPU: tail})
+		g.AddCPU(alloc(graph.Node{Type: graph.CWork, STime: cursor, OutCPU: tail}))
 	}
 	return g
 }

@@ -204,6 +204,9 @@ func TestMemoryTracingAnnotations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Content hashes are rendered lazily; materialize them as an exporter
+	// (trace.Run.WriteJSON) would.
+	run.ResolveHashes()
 
 	// The H2D payload repeats every iteration: iterations 2 and 3 are dups.
 	var h2dDups, h2dTotal int

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"sort"
+
 	"diogenes/internal/simtime"
 )
 
@@ -26,11 +28,76 @@ type Result struct {
 	Total   simtime.Duration
 }
 
-// ExpectedBenefit runs Figure 5's algorithm over a clone of g: it iterates
-// the problematic nodes in chain order and models the effect of fixing each
-// one, mutating edge durations as it goes so later estimates see the graph
-// as it would look after earlier fixes. g itself is not modified.
+// ExpectedBenefit runs Figure 5's algorithm: it iterates the problematic
+// nodes in chain order and models the effect of fixing each one.
+//
+// The evaluation is incremental — no clone, no mutation. Figure 5's
+// pseudocode mutates the graph as it walks it, but every value it ever
+// *reads* is provably an original one: processed nodes lie behind the scan,
+// the idle-time sums look strictly forward and exclude CWait nodes (the
+// only type whose duration a fix rewrites that could otherwise be re-read),
+// and the inherited-wait it pushes onto the next synchronization is
+// consumed exactly once, at that node. That reduces the whole walk to the
+// graph's prefix aggregates (see index.go) plus one running carry, making
+// each evaluation O(problematic nodes) instead of O(n) with an O(n) copy.
+// referenceExpectedBenefit keeps the literal pseudocode transcription; the
+// two are equivalence-tested.
 func ExpectedBenefit(g *Graph, opts Options) Result {
+	idx := g.index()
+	res := Result{PerNode: make([]NodeBenefit, 0, len(idx.problematic))}
+	carryAt := -1 // index of the CWait the current carry is destined for
+	var carry simtime.Duration
+	for _, i := range idx.problematic {
+		n := g.CPU[i]
+		var inherited simtime.Duration
+		if carryAt == i {
+			inherited, carry, carryAt = carry, 0, -1
+		}
+		var est simtime.Duration
+		switch n.Problem {
+		case UnnecessarySync:
+			next := idx.nextSync[i]
+			idle := idx.sumBetween(i, next)
+			pool := n.OutCPU + inherited
+			est = minDuration(idle, pool)
+			if left := pool - est; left > 0 && next < len(g.CPU) {
+				// A carry still parked at an earlier, necessary (and thus
+				// never-processed) CWait is lost there, exactly as the
+				// reference leaves inherited unread on such nodes.
+				if carryAt != next {
+					carryAt, carry = next, 0
+				}
+				carry += left
+			}
+		case MisplacedSync:
+			est = n.FirstUseTime
+			if opts.ClampMisplacedBenefit {
+				est = minDuration(est, n.OutCPU)
+			}
+		case UnnecessaryTransfer:
+			est = n.OutCPU
+			// Inherited wait is not the transfer's to claim; it moves on
+			// to the next surviving synchronization.
+			if inherited > 0 {
+				if next := idx.nextSync[i]; next < len(g.CPU) {
+					if carryAt != next {
+						carryAt, carry = next, 0
+					}
+					carry += inherited
+				}
+			}
+		}
+		res.PerNode = append(res.PerNode, NodeBenefit{Node: n, Benefit: est})
+		res.Total += est
+	}
+	return res
+}
+
+// referenceExpectedBenefit is the direct transcription of Figure 5: clone
+// the graph, walk it, and mutate edge durations so later estimates see the
+// graph as it would look after earlier fixes. It is retained as the oracle
+// the incremental ExpectedBenefit is differential-tested against.
+func referenceExpectedBenefit(g *Graph, opts Options) Result {
 	work := g.Clone()
 	var res Result
 	for i, n := range work.CPU {
@@ -110,39 +177,91 @@ func removeMemoryTransfer(g *Graph, i int) simtime.Duration {
 // that cannot be absorbed by GPU idle time before the next synchronization
 // is carried forward to later nodes in the sequence, "allowing for large
 // unnecessary synchronization delays to be profitably corrected". nodes
-// must be the sequence members in chain order (identified by ID in g); the
-// evaluation works on a clone and returns per-node realized benefits.
+// must be the sequence members (identified by ID in g); the evaluation is
+// read-only on g and returns per-node realized benefits.
 func SequenceBenefit(g *Graph, nodes []*Node, opts Options) Result {
 	return NewSequenceEvaluator(g).Evaluate(nodes, opts)
 }
 
 // SequenceEvaluator runs carry-forward sequence evaluations against one
-// source graph, reusing a single scratch clone across calls. The per-call
-// cost drops from a full graph copy (the dominant allocation in stage-5
-// analysis, where every candidate sequence is evaluated) to an in-place
-// value reset. Not safe for concurrent use; each goroutine needs its own.
+// source graph. Evaluations cost O(members · log members): the same
+// original-values argument as ExpectedBenefit applies (see there), so each
+// call reads the shared benefit index instead of cloning the graph, and the
+// member-gap "does a necessary synchronization intervene?" question is one
+// prefix-count lookup. The previous clone-and-rescan implementation is kept
+// as referenceSequenceBenefit for the differential tests. Not safe for
+// concurrent use; each goroutine needs its own.
 type SequenceEvaluator struct {
-	src     *Graph
-	scratch *Graph
-	member  map[int]bool
+	src *Graph
+	ids []int // member-index scratch, reused across calls
 }
 
 // NewSequenceEvaluator prepares an evaluator for g. The graph must not be
 // mutated while the evaluator is in use.
 func NewSequenceEvaluator(g *Graph) *SequenceEvaluator {
-	return &SequenceEvaluator{src: g, member: make(map[int]bool)}
+	return &SequenceEvaluator{src: g}
 }
 
 // Evaluate is SequenceBenefit against the evaluator's source graph.
 func (e *SequenceEvaluator) Evaluate(nodes []*Node, opts Options) Result {
-	if e.scratch == nil {
-		e.scratch = e.src.Clone()
-	} else {
-		e.scratch.resetFrom(e.src)
+	g := e.src
+	idx := g.index()
+	e.ids = e.ids[:0]
+	for _, n := range nodes {
+		if n.ID >= 0 && n.ID < len(g.CPU) {
+			e.ids = append(e.ids, n.ID)
+		}
 	}
-	work, g := e.scratch, e.src
-	clear(e.member)
-	member := e.member
+	sort.Ints(e.ids)
+	var res Result
+	var carry simtime.Duration
+	prev := -1
+	for k, id := range e.ids {
+		if k > 0 && id == e.ids[k-1] {
+			continue
+		}
+		// A necessary synchronization between sequence members ends the
+		// sequence: savings carried into it are lost there.
+		if idx.necessaryBetween(prev, id) > 0 {
+			carry = 0
+		}
+		prev = id
+		n := g.CPU[id]
+		if !n.Problematic() {
+			continue
+		}
+		var est simtime.Duration
+		switch n.Problem {
+		case UnnecessarySync:
+			next := idx.nextSync[id]
+			idle := idx.sumBetween(id, next)
+			pool := n.OutCPU + carry
+			est = minDuration(idle, pool)
+			carry = pool - est
+		case MisplacedSync:
+			est = n.FirstUseTime
+			if opts.ClampMisplacedBenefit {
+				est = minDuration(est, n.OutCPU)
+			}
+		case UnnecessaryTransfer:
+			// Sequence members never carry inherited wait (only the
+			// Figure-5 walk writes it), so the benefit is the launch's own
+			// CPU time.
+			est = n.OutCPU
+		}
+		res.PerNode = append(res.PerNode, NodeBenefit{Node: n, Benefit: est})
+		res.Total += est
+	}
+	// Whatever is still carried reaches the necessary synchronization that
+	// terminates the sequence and is lost there.
+	return res
+}
+
+// referenceSequenceBenefit is the clone-and-rescan transcription of the
+// carry-forward evaluation, kept as the oracle for differential tests.
+func referenceSequenceBenefit(g *Graph, nodes []*Node, opts Options) Result {
+	work := g.Clone()
+	member := make(map[int]bool, len(nodes))
 	for _, n := range nodes {
 		member[n.ID] = true
 	}
@@ -175,8 +294,6 @@ func (e *SequenceEvaluator) Evaluate(nodes []*Node, opts Options) Result {
 		res.PerNode = append(res.PerNode, NodeBenefit{Node: orig, Benefit: est})
 		res.Total += est
 	}
-	// Whatever is still carried reaches the necessary synchronization that
-	// terminates the sequence and is lost there.
 	return res
 }
 

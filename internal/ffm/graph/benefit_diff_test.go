@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diogenes/internal/simtime"
+)
+
+// buildAdversarialGraph is buildRandomGraph with the corner cases the
+// incremental evaluation must get right layered in: CWait-typed unnecessary
+// transfers (synchronous duplicate transfers, as BuildGraph emits), necessary
+// CWaits interleaved with problems (carry destinations that are never
+// processed), and misplaced synchronizations with first-use times both above
+// and below their own duration.
+func buildAdversarialGraph(raw []byte) *Graph {
+	g := New(0)
+	var at simtime.Time
+	for i := 0; i+1 < len(raw) && i < 120; i += 2 {
+		ty := NodeType(raw[i] % 3)
+		d := simtime.Duration(raw[i+1]%50) * ms
+		p := ProblemNone
+		switch raw[i] % 11 {
+		case 0, 1:
+			ty, p = CWait, UnnecessarySync
+		case 2:
+			ty, p = CWait, MisplacedSync
+		case 3:
+			ty, p = CLaunch, UnnecessaryTransfer
+		case 4:
+			// Synchronous duplicate transfer: a CWait whose problem is
+			// UnnecessaryTransfer. Its fix forwards inherited wait onward
+			// rather than claiming it.
+			ty, p = CWait, UnnecessaryTransfer
+		case 5:
+			ty = CWait // necessary synchronization
+		}
+		n := g.AddCPU(&Node{Type: ty, STime: at, OutCPU: d, Problem: p})
+		if p == MisplacedSync {
+			n.FirstUseTime = simtime.Duration(raw[i+1]%80) * ms
+		}
+		at = at.Add(d)
+	}
+	return g
+}
+
+func sameResult(t *testing.T, tag string, got, want Result) bool {
+	t.Helper()
+	if got.Total != want.Total {
+		t.Logf("%s: total %v, reference %v", tag, got.Total, want.Total)
+		return false
+	}
+	if len(got.PerNode) != len(want.PerNode) {
+		t.Logf("%s: %d per-node entries, reference %d", tag, len(got.PerNode), len(want.PerNode))
+		return false
+	}
+	for i := range got.PerNode {
+		if got.PerNode[i].Node != want.PerNode[i].Node || got.PerNode[i].Benefit != want.PerNode[i].Benefit {
+			t.Logf("%s: entry %d = (%d, %v), reference (%d, %v)", tag, i,
+				got.PerNode[i].Node.ID, got.PerNode[i].Benefit,
+				want.PerNode[i].Node.ID, want.PerNode[i].Benefit)
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickExpectedBenefitMatchesReference checks the incremental Figure-5
+// evaluation against the clone-and-mutate transcription on adversarial random
+// graphs, under both misplaced-sync options.
+func TestQuickExpectedBenefitMatchesReference(t *testing.T) {
+	for _, opts := range []Options{{}, {ClampMisplacedBenefit: true}} {
+		f := func(raw []byte) bool {
+			g := buildAdversarialGraph(raw)
+			got := ExpectedBenefit(g, opts)
+			want := referenceExpectedBenefit(g, opts)
+			return sameResult(t, "expected-benefit", got, want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestQuickSequenceBenefitMatchesReference checks the index-based sequence
+// evaluation against the clone-and-rescan transcription, with the member set
+// drawn pseudo-randomly from the problematic nodes (and deliberately passed
+// out of chain order, duplicated, and including non-problematic members —
+// all of which the evaluator must tolerate).
+func TestQuickSequenceBenefitMatchesReference(t *testing.T) {
+	for _, opts := range []Options{{}, {ClampMisplacedBenefit: true}} {
+		f := func(raw []byte, mask uint64) bool {
+			g := buildAdversarialGraph(raw)
+			var members []*Node
+			for _, n := range g.CPU {
+				if n.Problematic() && mask&(1<<(uint(n.ID)%64)) != 0 {
+					members = append(members, n)
+				}
+				if !n.Problematic() && mask&(1<<((uint(n.ID)+13)%64)) == 0 && len(g.CPU) > 0 {
+					// Sprinkle in non-problematic members; both
+					// implementations must skip them (and necessary-CWait
+					// members must still not reset their own carry).
+					members = append(members, n)
+				}
+			}
+			// Reverse order plus a duplicate to prove order/dup insensitivity.
+			for i, j := 0, len(members)-1; i < j; i, j = i+1, j-1 {
+				members[i], members[j] = members[j], members[i]
+			}
+			if len(members) > 0 {
+				members = append(members, members[0])
+			}
+			got := SequenceBenefit(g, members, opts)
+			want := referenceSequenceBenefit(g, members, opts)
+			return sameResult(t, "sequence-benefit", got, want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestIndexInvalidatedByMutatingAccessors proves a reclassification after an
+// evaluation is picked up, as report code re-evaluates graphs it has extended.
+func TestIndexInvalidatedByMutatingAccessors(t *testing.T) {
+	g := figure4Large()
+	first := ExpectedBenefit(g, Options{})
+	g.AddCPU(&Node{Type: CWait, Problem: UnnecessarySync, OutCPU: 5 * ms})
+	g.AddCPU(&Node{Type: CWork, OutCPU: 50 * ms}) // idle the new sync can use
+	second := ExpectedBenefit(g, Options{})
+	if second.Total == first.Total {
+		t.Fatalf("AddCPU after evaluation not reflected: total stayed %v", first.Total)
+	}
+	if want := referenceExpectedBenefit(g, Options{}); second.Total != want.Total {
+		t.Fatalf("post-mutation total %v, reference %v", second.Total, want.Total)
+	}
+}
+
+// TestStaleCarryDoesNotLeakPastNecessarySync pins the trickiest incremental
+// case: leftover wait parked on a necessary (never-processed) CWait must be
+// lost there, not credited to a later synchronization's pool.
+func TestStaleCarryDoesNotLeakPastNecessarySync(t *testing.T) {
+	g := New(0)
+	// Big unnecessary sync with no absorbable time before the next sync:
+	// all 100ms of leftover parks on the necessary CWait at index 1.
+	g.AddCPU(&Node{Type: CWait, Problem: UnnecessarySync, OutCPU: 100 * ms})
+	g.AddCPU(&Node{Type: CWait, OutCPU: 1 * ms}) // necessary: carry dies here
+	g.AddCPU(&Node{Type: CWork, OutCPU: 50 * ms})
+	// Second unnecessary sync: its pool must be its own 10ms only.
+	g.AddCPU(&Node{Type: CWait, Problem: UnnecessarySync, OutCPU: 10 * ms})
+	g.AddCPU(&Node{Type: CWork, OutCPU: 50 * ms})
+	g.AddCPU(&Node{Type: CWait, OutCPU: 0})
+
+	got := ExpectedBenefit(g, Options{})
+	want := referenceExpectedBenefit(g, Options{})
+	if !sameResult(t, "stale-carry", got, want) {
+		t.Fatal("incremental result diverges from reference")
+	}
+	if got.Total != 10*ms {
+		t.Fatalf("total = %v, want 10ms (first sync absorbs nothing, second its own 10ms)", got.Total)
+	}
+}
+
+// TestSequenceEvaluatorScratchReuse proves repeated evaluations against one
+// graph stay correct when the evaluator reuses its member scratch.
+func TestSequenceEvaluatorScratchReuse(t *testing.T) {
+	g := buildAdversarialGraph([]byte{0, 30, 11, 20, 3, 40, 22, 10, 0, 25, 5, 15, 33, 35, 2, 12})
+	eval := NewSequenceEvaluator(g)
+	probs := g.ProblematicNodes()
+	if len(probs) < 2 {
+		t.Skip("graph has too few problems for the reuse test")
+	}
+	for trial := 0; trial < 4; trial++ {
+		members := probs[trial%2:]
+		got := eval.Evaluate(members, Options{})
+		want := referenceSequenceBenefit(g, members, Options{})
+		if !sameResult(t, "scratch-reuse", got, want) {
+			t.Fatalf("trial %d diverged", trial)
+		}
+	}
+}

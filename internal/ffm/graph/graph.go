@@ -14,6 +14,7 @@ package graph
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"diogenes/internal/callstack"
 	"diogenes/internal/simtime"
@@ -112,6 +113,12 @@ type Graph struct {
 	CPU      []*Node
 	GPU      []*Node
 	ExecTime simtime.Duration
+
+	// Cached benefit index (see index.go). Atomic so concurrent read-only
+	// evaluations of one graph — e.g. two report renderings of a cached
+	// analysis — can share it, and so invalidation during construction
+	// (every AddCPU) costs one store, not a lock.
+	idx atomic.Pointer[benefitIndex]
 }
 
 // New returns an empty graph with the given total execution time.
@@ -127,6 +134,7 @@ func (g *Graph) AddCPU(n *Node) *Node {
 	}
 	n.ID = len(g.CPU)
 	g.CPU = append(g.CPU, n)
+	g.InvalidateIndex()
 	return n
 }
 
@@ -168,6 +176,7 @@ func (g *Graph) Clone() *Graph {
 // same shape (a Clone of src). It allocates nothing, so an evaluator can
 // reuse one scratch clone across many evaluations.
 func (g *Graph) resetFrom(src *Graph) {
+	g.InvalidateIndex()
 	g.ExecTime = src.ExecTime
 	for i, n := range src.CPU {
 		*g.CPU[i] = *n

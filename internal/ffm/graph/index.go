@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"diogenes/internal/simtime"
+)
+
+// benefitIndex holds per-node prefix aggregates over the CPU chain, computed
+// once per graph, that let the benefit algorithms answer their two inner
+// queries — "how much absorbable CPU time lies before the next
+// synchronization?" and "does a necessary synchronization fall in this
+// gap?" — in O(1) instead of rescanning the chain. Everything in it derives
+// from node fields the evaluations read but (in their incremental form)
+// never write, so one index serves any number of evaluations.
+type benefitIndex struct {
+	// prefix[k] is the summed OutCPU of CLaunch|CWork nodes with index < k
+	// (the SumDurationBetween aggregate).
+	prefix []simtime.Duration
+	// nextSync[i] is the index of the first CWait strictly after i, or
+	// len(CPU) when none exists (Figure 5's GetNextSyncNode).
+	nextSync []int
+	// necessary[k] counts CWait nodes with index < k that carry no problem —
+	// the synchronizations that terminate a §3.5.2 sequence.
+	necessary []int32
+	// problematic lists the indexes of problem-carrying nodes in chain
+	// order (Figure 5's iteration set).
+	problematic []int
+}
+
+// index returns the graph's benefit index, building it on first use. The
+// index is invalidated by AddCPU and resetFrom; code that mutates node
+// types, problems or durations through other means must call
+// InvalidateIndex before the next evaluation. Concurrent first uses may
+// build the index more than once; the results are identical and the extra
+// build is discarded, which is cheaper than locking every evaluation.
+func (g *Graph) index() *benefitIndex {
+	if idx := g.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := buildIndex(g)
+	g.idx.Store(idx)
+	return idx
+}
+
+// InvalidateIndex discards the cached benefit index. Mutating accessors call
+// it automatically; it exists for callers that write node fields directly.
+// Not safe to call concurrently with evaluations — a graph must be quiescent
+// while it is being changed, as ever.
+func (g *Graph) InvalidateIndex() {
+	g.idx.Store(nil)
+}
+
+func buildIndex(g *Graph) *benefitIndex {
+	n := len(g.CPU)
+	idx := &benefitIndex{
+		prefix:    make([]simtime.Duration, n+1),
+		nextSync:  make([]int, n),
+		necessary: make([]int32, n+1),
+	}
+	for i, node := range g.CPU {
+		idx.prefix[i+1] = idx.prefix[i]
+		if node.Type == CLaunch || node.Type == CWork {
+			idx.prefix[i+1] += node.OutCPU
+		}
+		idx.necessary[i+1] = idx.necessary[i]
+		if node.Type == CWait && !node.Problematic() {
+			idx.necessary[i+1]++
+		}
+		if node.Problematic() {
+			idx.problematic = append(idx.problematic, i)
+		}
+	}
+	next := n
+	for i := n - 1; i >= 0; i-- {
+		idx.nextSync[i] = next
+		if g.CPU[i].Type == CWait {
+			next = i
+		}
+	}
+	return idx
+}
+
+// sumBetween is SumDurationBetween over the prefix aggregate: the OutCPU of
+// CLaunch|CWork nodes strictly between i and j.
+func (x *benefitIndex) sumBetween(i, j int) simtime.Duration {
+	if j > len(x.prefix)-1 {
+		j = len(x.prefix) - 1
+	}
+	if j <= i+1 {
+		return 0
+	}
+	return x.prefix[j] - x.prefix[i+1]
+}
+
+// necessaryBetween counts necessary synchronizations strictly between i and
+// j. i may be -1 (before the chain).
+func (x *benefitIndex) necessaryBetween(i, j int) int32 {
+	if j <= i+1 {
+		return 0
+	}
+	return x.necessary[j] - x.necessary[i+1]
+}

@@ -127,6 +127,22 @@ func (d *Device) DevRead(ptr DevPtr, n int) ([]byte, error) {
 	return out, nil
 }
 
+// DevReadView is DevRead without the copy: it returns a slice aliasing the
+// buffer's live bytes. Callers must treat it as read-only and must not
+// retain it past the operation that requested it — later DevWrite, DevFill
+// or FreeBuf calls change or invalidate the contents.
+func (d *Device) DevReadView(ptr DevPtr, n int) ([]byte, error) {
+	b := d.BufAt(ptr)
+	if b == nil {
+		return nil, fmt.Errorf("%w: read %#x", ErrBadDevPtr, ptr)
+	}
+	if ptr+DevPtr(n) > b.End() {
+		return nil, fmt.Errorf("%w: read past end of %q", ErrBadDevPtr, b.label)
+	}
+	off := int(ptr - b.base)
+	return b.data[off : off+n : off+n], nil
+}
+
 // DevFill sets n bytes at ptr to value v (memset landing).
 func (d *Device) DevFill(ptr DevPtr, v byte, n int) error {
 	b := d.BufAt(ptr)

@@ -1,0 +1,64 @@
+package hashstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// FuzzHashTiers proves the tiered prefilter+witness+lazy-sha256 path
+// classifies duplicate/unique exactly like plain sha256.Sum256 over a
+// sequence of arbitrary payloads, including empty ones, and that the lazily
+// rendered digests match the eager ones — with promotions interleaved at
+// arbitrary points so both the witness-compare and the digest-compare
+// branches are exercised.
+func FuzzHashTiers(f *testing.F) {
+	f.Add([]byte(""), []byte("a"), []byte("a"), byte(0))
+	f.Add([]byte("x"), []byte("x"), []byte("y"), byte(1))
+	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0, 0}, []byte{0, 0, 0, 0}, byte(2))
+	f.Add(bytes.Repeat([]byte("ab"), 64), bytes.Repeat([]byte("ab"), 64), []byte("ab"), byte(3))
+	f.Fuzz(func(t *testing.T, a, b, c []byte, promoteMask byte) {
+		payloads := [][]byte{a, b, c, a, c, nil}
+		tiered := New()
+		eager := map[[sha256.Size]byte]int64{} // digest -> first seq
+		for i, p := range payloads {
+			seq := int64(i + 1)
+			dup, first, ref := tiered.Insert(p, seq)
+
+			sum := sha256.Sum256(p)
+			wantFirst, wantDup := eager[sum]
+			if !wantDup {
+				eager[sum] = seq
+				wantFirst = seq
+			}
+
+			if dup != wantDup {
+				t.Fatalf("payload %d (%q): tiered dup=%v, sha256 says %v", i, p, dup, wantDup)
+			}
+			if first != wantFirst {
+				t.Fatalf("payload %d: tiered firstSeq=%d, sha256 says %d", i, first, wantFirst)
+			}
+			// Promote at arbitrary interleavings so later inserts hit the
+			// digest-compare branch for some entries and the byte-compare
+			// branch for others.
+			if promoteMask&(1<<(i%8)) != 0 {
+				if got := ref.Key(); got != sum {
+					t.Fatalf("payload %d: lazy digest != sha256.Sum256", i)
+				}
+			}
+		}
+		// Every ref must render the same digest sha256 computes eagerly.
+		for i, p := range payloads {
+			_, _, ref := tiered.Insert(p, int64(100+i))
+			if got, want := ref.Key(), sha256.Sum256(p); got != want {
+				t.Fatalf("payload %d: final digest mismatch", i)
+			}
+			if got, want := ref.String(), Key(sha256.Sum256(p)).String(); got != want {
+				t.Fatalf("payload %d: short hex %q != %q", i, got, want)
+			}
+		}
+		if tiered.Len() != len(eager) {
+			t.Fatalf("tiered distinct=%d, sha256 distinct=%d", tiered.Len(), len(eager))
+		}
+	})
+}

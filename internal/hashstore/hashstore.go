@@ -2,11 +2,33 @@
 // used by stage 3 (§3.3.2): every transfer payload is hashed; a hash that
 // was seen before marks the transfer as a duplicate, and the store remembers
 // where the data was first transferred.
+//
+// Hashing is tiered so the simulated model cost (charged in virtual time by
+// stage 3) does not also become a real host-time cost per payload:
+//
+//  1. a fixed-seed 64-bit prefilter hash routes the payload to a bucket;
+//  2. first-seen payloads short-circuit — no sha256 is computed, the bytes
+//     are retained (in pooled buffers) as the identity witness;
+//  3. duplicates are confirmed by byte comparison against the witness, which
+//     classifies exactly like comparing sha256 digests would;
+//  4. the sha256 digest itself is computed lazily, only when a record's Hash
+//     string is actually rendered (Ref.String/Ref.Key) or the digest is
+//     needed to compare against an already-promoted entry. The short hex
+//     form is interned per distinct payload, never per record.
+//
+// The store is safe for concurrent use, so stage 3 can hash under the
+// parallel engine's sched workers.
 package hashstore
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
+	"math/bits"
+	"sync"
+
+	"diogenes/internal/obs"
 )
 
 // Key is a content hash of a transfer payload.
@@ -28,52 +50,306 @@ type Entry struct {
 	Count    int   // total transfers with this content, including the first
 }
 
-// Store maps content hashes to their first transfer. The zero value is not
-// usable; call New.
+// entry is the store's internal record of one distinct payload. Until
+// promoted it holds a retained copy of the bytes; promotion computes the
+// sha256 digest, interns the short hex form and releases the buffer.
+type entry struct {
+	next     *entry // bucket chain (prefilter collisions and distinct sizes)
+	firstSeq int64
+	bytes    int
+	count    int
+	payload  []byte // retained witness bytes; nil once promoted
+	sum      Key    // sha256 digest, valid once promoted
+	hex8     string // interned short hex, computed at most once
+	promoted bool
+}
+
+// Ref is a handle to a distinct payload in a Store. Rendering the hash
+// through a Ref is what triggers the lazy sha256 computation; records whose
+// hash is never rendered never pay for it. The zero Ref is invalid.
+type Ref struct {
+	e *entry
+	s *Store
+}
+
+// Valid reports whether the ref points at a store entry.
+func (r Ref) Valid() bool { return r.e != nil }
+
+// String returns the abbreviated hex form of the payload's sha256 digest,
+// identical to Key.String() of Hash(payload). The digest is computed on
+// first use and the string is interned: duplicate records of the same
+// content share one allocation.
+func (r Ref) String() string {
+	if r.e == nil {
+		return ""
+	}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	r.s.promote(r.e)
+	if r.e.hex8 == "" {
+		r.e.hex8 = hex.EncodeToString(r.e.sum[:8])
+	}
+	return r.e.hex8
+}
+
+// Key returns the payload's full sha256 digest, computing it on first use.
+func (r Ref) Key() Key {
+	if r.e == nil {
+		return Key{}
+	}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	r.s.promote(r.e)
+	return r.e.sum
+}
+
+// Store maps payload contents to their first transfer. The zero value is
+// not usable; call New. All methods are safe for concurrent use.
 type Store struct {
-	entries map[Key]*Entry
+	mu       sync.Mutex
+	buckets  map[uint64]*entry
+	distinct int
 	// stats
 	inserts    int64
 	duplicates int64
 	dupBytes   int64
+	retained   int64 // bytes currently held as identity witnesses
+
+	// Instrument pointers resolved by SetMetrics (nil-safe no-ops until
+	// then).
+	mPrefilterHits *obs.Counter
+	mSha256Avoided *obs.Counter
+	mSha256        *obs.Counter
+	mRetained      *obs.Gauge
 }
 
 // New returns an empty store.
-func New() *Store { return &Store{entries: make(map[Key]*Entry)} }
+func New() *Store { return &Store{buckets: make(map[uint64]*entry)} }
 
-// Insert records a transfer of payload p occurring at sequence seq. It
-// returns whether the content is a duplicate and, if so, the sequence of the
-// first transfer that carried it.
-func (s *Store) Insert(p []byte, seq int64) (dup bool, firstSeq int64, key Key) {
-	key = Hash(p)
-	s.inserts++
-	if e, ok := s.entries[key]; ok {
-		e.Count++
-		s.duplicates++
-		s.dupBytes += int64(len(p))
-		return true, e.FirstSeq, key
-	}
-	s.entries[key] = &Entry{FirstSeq: seq, Bytes: len(p), Count: 1}
-	return false, seq, key
+// SetMetrics attaches self-measurement instruments: inserts whose prefilter
+// bucket already held a candidate (hashstore/prefilter_hits), inserts
+// classified without computing any sha256 (hashstore/sha256_avoided),
+// sha256 digests actually computed (hashstore/sha256_computed), and the
+// bytes currently retained as identity witnesses (hashstore/retained_bytes).
+// A nil registry detaches.
+func (s *Store) SetMetrics(m *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mPrefilterHits = m.Counter("hashstore/prefilter_hits")
+	s.mSha256Avoided = m.Counter("hashstore/sha256_avoided")
+	s.mSha256 = m.Counter("hashstore/sha256_computed")
+	s.mRetained = m.Gauge("hashstore/retained_bytes")
 }
 
-// Lookup returns the entry for a content key, if any.
-func (s *Store) Lookup(k Key) (Entry, bool) {
-	e, ok := s.entries[k]
-	if !ok {
-		return Entry{}, false
+// bufPool recycles witness buffers across entries and stores.
+var bufPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+
+// Insert records a transfer of payload p occurring at sequence seq. It
+// returns whether the content is a duplicate, the sequence of the first
+// transfer that carried it, and a Ref through which the content hash can be
+// rendered lazily. The duplicate classification is exactly the one plain
+// sha256 hashing would produce (FuzzHashTiers proves it): payloads compare
+// equal iff their digests would.
+func (s *Store) Insert(p []byte, seq int64) (dup bool, firstSeq int64, ref Ref) {
+	h := prefilter64(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inserts++
+	var sum Key
+	haveSum := false
+	if s.buckets[h] != nil {
+		s.mPrefilterHits.Inc()
 	}
-	return *e, true
+	for e := s.buckets[h]; e != nil; e = e.next {
+		if e.bytes != len(p) {
+			continue
+		}
+		var match bool
+		if !e.promoted {
+			match = bytes.Equal(e.payload, p)
+		} else {
+			// The witness bytes are gone; fall back to digest equality.
+			if !haveSum {
+				sum = sha256.Sum256(p)
+				haveSum = true
+				s.mSha256.Inc()
+			}
+			match = sum == e.sum
+		}
+		if match {
+			e.count++
+			s.duplicates++
+			s.dupBytes += int64(len(p))
+			if !haveSum {
+				s.mSha256Avoided.Inc()
+			}
+			return true, e.firstSeq, Ref{e: e, s: s}
+		}
+	}
+	e := &entry{firstSeq: seq, bytes: len(p), count: 1, payload: s.retain(p)}
+	e.next = s.buckets[h]
+	s.buckets[h] = e
+	s.distinct++
+	if !haveSum {
+		s.mSha256Avoided.Inc()
+	}
+	return false, seq, Ref{e: e, s: s}
+}
+
+// retain copies p into a pooled buffer and accounts for it. Callers hold mu.
+func (s *Store) retain(p []byte) []byte {
+	if len(p) == 0 {
+		return []byte{}
+	}
+	buf := *bufPool.Get().(*[]byte)
+	if cap(buf) < len(p) {
+		buf = make([]byte, len(p))
+	}
+	buf = buf[:len(p)]
+	copy(buf, p)
+	s.retained += int64(len(p))
+	s.mRetained.Set(float64(s.retained))
+	return buf
+}
+
+// promote computes the entry's sha256 digest from its witness bytes and
+// releases the buffer back to the pool. Callers hold mu. Idempotent.
+func (s *Store) promote(e *entry) {
+	if e.promoted {
+		return
+	}
+	e.sum = sha256.Sum256(e.payload)
+	e.promoted = true
+	s.mSha256.Inc()
+	s.retained -= int64(len(e.payload))
+	s.mRetained.Set(float64(s.retained))
+	if cap(e.payload) > 0 {
+		buf := e.payload[:0]
+		bufPool.Put(&buf)
+	}
+	e.payload = nil
+}
+
+// Lookup returns the entry for a content key, if any. It forces promotion
+// of every stored payload (each needs its digest to compare), so it is
+// intended for tests and post-run inspection, not the hot path.
+func (s *Store) Lookup(k Key) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, chain := range s.buckets {
+		for e := chain; e != nil; e = e.next {
+			s.promote(e)
+			if e.sum == k {
+				return Entry{FirstSeq: e.firstSeq, Bytes: e.bytes, Count: e.count}, true
+			}
+		}
+	}
+	return Entry{}, false
 }
 
 // Len returns the number of distinct payloads seen.
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.distinct
+}
 
 // Inserts returns the total number of Insert calls.
-func (s *Store) Inserts() int64 { return s.inserts }
+func (s *Store) Inserts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inserts
+}
 
 // Duplicates returns the number of duplicate transfers detected.
-func (s *Store) Duplicates() int64 { return s.duplicates }
+func (s *Store) Duplicates() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duplicates
+}
 
 // DuplicateBytes returns the total bytes carried by duplicate transfers.
-func (s *Store) DuplicateBytes() int64 { return s.dupBytes }
+func (s *Store) DuplicateBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dupBytes
+}
+
+// RetainedBytes returns the bytes currently held as identity witnesses
+// (first-seen payloads whose digest has not been needed yet).
+func (s *Store) RetainedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retained
+}
+
+// prefilter64 is the fixed-seed 64-bit prefilter hash (the XXH64 layout).
+// It only routes payloads to buckets — classification never trusts it, so a
+// collision costs one extra byte comparison, never a wrong answer.
+const prefilterSeed uint64 = 0x9e3779b97f4a7c15
+
+const (
+	prime1 uint64 = 11400714785074694791
+	prime2 uint64 = 14029467366897019727
+	prime3 uint64 = 1609587929392839161
+	prime4 uint64 = 9650029242287828579
+	prime5 uint64 = 2870177450012600261
+)
+
+func prefilter64(p []byte) uint64 {
+	n := uint64(len(p))
+	var h uint64
+	seed := prefilterSeed
+	if len(p) >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(p) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(p[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(p[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(p[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(p[24:32]))
+			p = p[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+	h += n
+	for len(p) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(p[:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		p = p[8:]
+	}
+	if len(p) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(p[:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		p = p[4:]
+	}
+	for _, b := range p {
+		h ^= uint64(b) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, in uint64) uint64 {
+	acc += in * prime2
+	return bits.RotateLeft64(acc, 31) * prime1
+}
+
+func mergeRound(h, v uint64) uint64 {
+	h ^= round(0, v)
+	return h*prime1 + prime4
+}

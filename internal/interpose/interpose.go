@@ -131,8 +131,11 @@ type TracerOptions struct {
 	// hook (delivered via the OnTransferPayload callback).
 	CapturePayloads bool
 	// OnRecord, if set, is invoked as each record is appended; the pointer
-	// is valid for the duration of the callback and addresses the stored
-	// record, so annotations written through it persist.
+	// addresses the stored record and stays valid until Records() is
+	// called (records live in a per-run arena, so later allocations never
+	// relocate them), so annotations written through it persist — even
+	// ones written after further calls have been traced, as stage 3's
+	// protected-access annotation is.
 	OnRecord func(*trace.Record, *cuda.Call)
 	// Metrics, if set, receives self-measurement telemetry: probe firings
 	// and charged overhead (interpose/probe_firings,
@@ -150,10 +153,15 @@ type TracerOptions struct {
 // performance data on calls that do not contain a problematic
 // synchronization or memory transfer operation."
 type CallTracer struct {
-	ctx     *cuda.Context
-	opts    TracerOptions
-	probes  []cuda.ProbeID
-	records []trace.Record
+	ctx    *cuda.Context
+	opts   TracerOptions
+	probes []cuda.ProbeID
+	// arena slab-allocates records during the run; Records() flattens it
+	// into final exactly once. Slabs are pooled process-wide, so tracing
+	// allocates no record memory in steady state.
+	arena   *trace.Arena
+	final   []trace.Record
+	done    bool
 	nextSeq int64
 	// entryLedger is the instrumentation-overhead ledger at the current
 	// call's entry, captured so recorded timestamps can be reported on the
@@ -163,20 +171,22 @@ type CallTracer struct {
 
 	// Instrument pointers resolved once at construction (nil-safe no-ops
 	// when TracerOptions.Metrics is unset).
-	mFirings  *obs.Counter
-	mProbeNS  *obs.Counter
-	mRecords  *obs.Counter
-	mCallNS   *obs.Histogram
-	mSyncWait *obs.Histogram
+	mFirings    *obs.Counter
+	mProbeNS    *obs.Counter
+	mRecords    *obs.Counter
+	mArenaBytes *obs.Gauge
+	mCallNS     *obs.Histogram
+	mSyncWait   *obs.Histogram
 }
 
 // NewCallTracer attaches entry/exit probes to each function in funcs.
 func NewCallTracer(ctx *cuda.Context, funcs []cuda.Func, opts TracerOptions) *CallTracer {
-	t := &CallTracer{ctx: ctx, opts: opts}
+	t := &CallTracer{ctx: ctx, opts: opts, arena: trace.NewArena()}
 	m := opts.Metrics
 	t.mFirings = m.Counter("interpose/probe_firings")
 	t.mProbeNS = m.Counter("interpose/probe_overhead_ns")
 	t.mRecords = m.Counter("interpose/records")
+	t.mArenaBytes = m.Gauge("interpose/arena_bytes")
 	t.mCallNS = m.Histogram("interpose/call_ns")
 	t.mSyncWait = m.Histogram("interpose/sync_wait_ns")
 	if opts.CaptureStacks {
@@ -217,40 +227,46 @@ func (t *CallTracer) onExit(call *cuda.Call) {
 	if isTransfer {
 		class = trace.ClassTransfer
 	}
-	rec := trace.Record{
-		Seq:      t.nextSeq,
-		Func:     string(call.Func),
-		Class:    class,
-		Entry:    call.Entry.Add(-t.entryLedger),
-		Exit:     call.Exit.Add(-exitLedger),
-		SyncWait: call.SyncWait(),
-		Scope:    call.Scope.String(),
-		Dir:      "",
-		Bytes:    call.Bytes,
-		HostAddr: uint64(call.HostAddr),
-		HostSize: call.HostSize,
-	}
+	rec := t.arena.Alloc()
+	rec.Seq = t.nextSeq
+	rec.Func = string(call.Func)
+	rec.Class = class
+	rec.Entry = call.Entry.Add(-t.entryLedger)
+	rec.Exit = call.Exit.Add(-exitLedger)
+	rec.SyncWait = call.SyncWait()
+	rec.Scope = call.Scope.String()
+	rec.Bytes = call.Bytes
+	rec.HostAddr = uint64(call.HostAddr)
+	rec.HostSize = call.HostSize
 	if call.Dir != cuda.DirNone {
 		rec.Dir = call.Dir.String()
 	}
 	if t.opts.CaptureStacks {
 		rec.Stack = call.Stack
 	}
-	t.records = append(t.records, rec)
 	t.mRecords.Inc()
+	t.mArenaBytes.SetMax(float64(t.arena.Bytes()))
 	t.mCallNS.Observe(int64(rec.Exit - rec.Entry))
 	t.mSyncWait.Observe(int64(rec.SyncWait))
 	if t.opts.OnRecord != nil {
-		t.opts.OnRecord(&t.records[len(t.records)-1], call)
+		t.opts.OnRecord(rec, call)
 	}
 }
 
-// Records returns the collected records in call order. The returned slice
-// is the tracer's own; callers should copy it if they detach and reuse.
-func (t *CallTracer) Records() []trace.Record { return t.records }
+// Records returns the collected records in call order. The first call
+// flattens the arena into an exact-size slice and recycles the slabs, so
+// record pointers handed to OnRecord are invalid afterwards; the returned
+// slice is freshly allocated and shares nothing with the pool.
+func (t *CallTracer) Records() []trace.Record {
+	if !t.done {
+		t.final = t.arena.Finish()
+		t.done = true
+	}
+	return t.final
+}
 
 // Count returns the number of records collected so far.
-func (t *CallTracer) Count() int { return len(t.records) }
+func (t *CallTracer) Count() int { return t.arena.Len() + len(t.final) }
 
 // Detach removes the tracer's probes.
 func (t *CallTracer) Detach() {

@@ -294,6 +294,24 @@ func (s *Space) Peek(addr Addr, n int) ([]byte, error) {
 	return out, nil
 }
 
+// PeekView is Peek without the copy: it returns a slice aliasing the
+// region's live bytes. Callers must treat it as read-only and must not
+// retain it past the operation that requested it — any later Store, Poke or
+// Free changes or invalidates the contents. The driver's transfer paths use
+// it so capturing a payload for hashing does not cost an allocation per
+// transfer.
+func (s *Space) PeekView(addr Addr, n int) ([]byte, error) {
+	r := s.RegionAt(addr)
+	if r == nil {
+		return nil, fmt.Errorf("%w: peek %#x", ErrOutOfRange, addr)
+	}
+	if addr+Addr(n) > r.End() {
+		return nil, fmt.Errorf("%w: peek past end of %q", ErrOutOfRange, r.label)
+	}
+	off := int(addr - r.base)
+	return r.data[off : off+n : off+n], nil
+}
+
 // Poke writes p at addr without generating an access event (DMA write path,
 // e.g. a device-to-host transfer landing). Protected pages still fault.
 func (s *Space) Poke(addr Addr, p []byte) error {

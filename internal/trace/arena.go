@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// slabLen is the number of Records per slab. Slabs are recycled through a
+// process-wide pool, so steady-state tracing allocates no record memory at
+// all: a run borrows slabs, flattens them into its final Records slice, and
+// returns them.
+const slabLen = 512
+
+var slabPool = sync.Pool{New: func() any {
+	s := make([]Record, slabLen)
+	return &s
+}}
+
+// RecordSize is the in-memory size of one Record, used by the arena-bytes
+// self-measurement gauge.
+const RecordSize = int64(unsafe.Sizeof(Record{}))
+
+// Arena hands out trace.Records from pooled fixed-size slabs. Pointers
+// returned by Alloc remain valid — and addressable for later annotation —
+// until Finish is called; appending never relocates live records, unlike a
+// grown slice. An Arena is single-goroutine (each pipeline run owns one);
+// only the slab pool underneath is shared.
+type Arena struct {
+	slabs []*[]Record
+	n     int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Alloc returns a pointer to a zeroed Record that stays valid until Finish.
+func (a *Arena) Alloc() *Record {
+	i := a.n % slabLen
+	if i == 0 {
+		a.slabs = append(a.slabs, slabPool.Get().(*[]Record))
+	}
+	a.n++
+	return &(*a.slabs[len(a.slabs)-1])[i]
+}
+
+// Len returns the number of records allocated.
+func (a *Arena) Len() int { return a.n }
+
+// Bytes returns the memory currently borrowed from the slab pool.
+func (a *Arena) Bytes() int64 { return int64(len(a.slabs)) * slabLen * RecordSize }
+
+// Finish copies the records into one exact-size slice, clears and returns
+// every slab to the pool, and resets the arena. The returned slice shares
+// nothing with the pool, so a finished Run can never alias a slab recycled
+// into a concurrent run.
+func (a *Arena) Finish() []Record {
+	if a.n == 0 {
+		a.slabs = nil
+		return nil
+	}
+	out := make([]Record, a.n)
+	remaining := a.n
+	for _, slab := range a.slabs {
+		s := *slab
+		k := copy(out[a.n-remaining:], s[:min(remaining, slabLen)])
+		remaining -= k
+		// Clear before pooling so recycled slabs hold no stale pointers
+		// (stacks, strings) and the next run starts from zeroed slots.
+		clear(s)
+		slabPool.Put(slab)
+	}
+	a.slabs = nil
+	a.n = 0
+	return out
+}

@@ -101,10 +101,30 @@ type Run struct {
 	// synchronize, in first-seen order.
 	SyncFuncs []string `json:"syncFuncs,omitempty"`
 	Records   []Record `json:"records,omitempty"`
+
+	// hashResolve, when set, lazily fills the Records' Hash fields the
+	// first time they are rendered (WriteJSON or ResolveHashes). Stage 3
+	// installs it so content hashes are computed only for runs whose
+	// records are actually exported; it must be idempotent. Unexported, so
+	// it survives struct copies but never serializes.
+	hashResolve func(*Run)
+}
+
+// SetHashResolver installs fn as the run's lazy hash resolver.
+func (r *Run) SetHashResolver(fn func(*Run)) { r.hashResolve = fn }
+
+// ResolveHashes materializes any lazily computed record fields (today the
+// stage-3 content hashes). Safe to call repeatedly; a run without a
+// resolver is returned untouched.
+func (r *Run) ResolveHashes() {
+	if r.hashResolve != nil {
+		r.hashResolve(r)
+	}
 }
 
 // WriteJSON serializes the run with indentation (the on-disk tool format).
 func (r *Run) WriteJSON(w io.Writer) error {
+	r.ResolveHashes()
 	stamped := *r
 	stamped.Format = FormatVersion
 	enc := json.NewEncoder(w)
