@@ -554,6 +554,30 @@ func BenchmarkTable1ThenTable2Cached(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetAMG4 runs the all-ranks fleet analysis on AMG's 4-rank
+// world through a fresh engine per iteration (no cache carry-over), and
+// reports the cross-rank aggregation as metrics. The aggregation is a
+// virtual-time model output, identical on any host — the CI regression
+// gate pins the metric values while ns/op tracks the fan-out cost.
+func BenchmarkFleetAMG4(b *testing.B) {
+	var fr *ffm.FleetReport
+	for i := 0; i < b.N; i++ {
+		eng := experiments.NewEngine(4)
+		var err error
+		fr, err = eng.Fleet("amg", 0.05, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Partial {
+			b.Fatal("fleet run degraded")
+		}
+	}
+	b.ReportMetric(float64(len(fr.Duplicates)), "cross-rank-dups")
+	b.ReportMetric(float64(fr.CrossRankDupBytes), "dup-bytes")
+	b.ReportMetric(float64(len(fr.Problems)), "fleet-problems")
+	b.ReportMetric(float64(fr.Analyzed), "ranks-analyzed")
+}
+
 // --- Self-measurement layer ---------------------------------------------------
 
 // BenchmarkObsOverhead quantifies what the observability layer itself costs:

@@ -243,10 +243,13 @@ func (a *AMG) FinalState() string { return a.finalState.get() }
 // small gaps on the observed rank.
 const amgRanks = 2
 
+// amgBarrierLatency is the modelled per-cycle allreduce cost.
+const amgBarrierLatency = 25 * simtime.Microsecond
+
 func amgMPIApp(scale float64, v Variant, f proc.Factory) proc.App {
 	return mpi.App(NewAMG(scale, v), mpi.Config{
 		Ranks:          amgRanks,
-		BarrierLatency: 25 * simtime.Microsecond,
+		BarrierLatency: amgBarrierLatency,
 		Factory:        f,
 	}, 0)
 }
@@ -260,5 +263,12 @@ func init() {
 		},
 		NewWith: amgMPIApp,
 		Factory: amgFactory,
+		MPI: &MPISpec{
+			DefaultRanks:   amgRanks,
+			BarrierLatency: amgBarrierLatency,
+			Program: func(scale float64, v Variant) mpi.RankProgram {
+				return NewAMG(scale, v)
+			},
+		},
 	})
 }

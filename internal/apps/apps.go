@@ -5,7 +5,9 @@ import (
 	"sort"
 	"sync"
 
+	"diogenes/internal/mpi"
 	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
 )
 
 // Variant selects the original (problematic) or fixed build of an
@@ -41,6 +43,25 @@ type Spec struct {
 	// Factory returns the process configuration the application is
 	// measured on (device bandwidths and driver costs are per-machine).
 	Factory func() proc.Factory
+	// MPI describes the multi-rank launch for applications modelled as
+	// MPI programs; nil means the application is single-process and fleet
+	// analysis does not apply.
+	MPI *MPISpec
+}
+
+// MPISpec is the multi-rank launch description of an MPI-modelled
+// application: how large a world it runs in by default, what its
+// collectives cost, and how to build one fresh rank program.
+type MPISpec struct {
+	// DefaultRanks is the world size used when the caller does not pick
+	// one (the size the registry's observed-rank app also runs at).
+	DefaultRanks int
+	// BarrierLatency is the per-superstep collective cost.
+	BarrierLatency simtime.Duration
+	// Program builds a fresh instance of the rank program at the given
+	// scale. Each call must return an independent value: fleet analysis
+	// runs one per rank pipeline concurrently.
+	Program func(scale float64, v Variant) mpi.RankProgram
 }
 
 // Build constructs the application over the given factory, using NewWith

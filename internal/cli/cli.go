@@ -118,6 +118,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = Table1(stdout, eng, rest)
 	case "table2":
 		err = Table2(stdout, eng, rest)
+	case "fleet":
+		err = Fleet(stdout, eng, rest)
 	case "overhead":
 		err = Overhead(stdout, eng, rest)
 	case "autofix":
@@ -216,6 +218,12 @@ commands:
       -md file              export a Markdown findings report
       -sub from:to          refine the top sequence to entries [from,to]
   analyze <trace.json>      run stage 5 on a previously exported records file
+  fleet [app] [flags]       run the pipeline on every rank of an MPI app's
+                            world and aggregate the findings across ranks
+      -app name             application name (alternative to the positional)
+      -ranks n              world size (0 = the application's default)
+      -scale f              workload scale (default 0.25)
+      -json file            export the fleet report as JSON
   table1 [-scale f]         reproduce Table 1 (estimated vs actual benefit)
   table2 [app] [-scale f]   reproduce Table 2 (NVProf vs HPCToolkit vs Diogenes)
   overhead <app> [-scale f] show the §5.3 data-collection cost breakdown
@@ -448,6 +456,42 @@ func Table2(w io.Writer, eng *experiments.Engine, args []string) error {
 	// One rendering path shared with the serve API keeps the outputs
 	// byte-identical.
 	return report.Table2Sections(w, names, sections)
+}
+
+// Fleet runs the all-ranks FFM pipeline on one MPI-modelled application
+// and renders the aggregated fleet report. A partial report (contained rank
+// failures) renders its DEGRADED section and still exits successfully —
+// per-rank fault containment must never fail the launch.
+func Fleet(w io.Writer, eng *experiments.Engine, args []string) error {
+	name, args := takeName(args)
+	fs := newFlagSet("fleet")
+	appFlag := fs.String("app", "", "application name (alternative to the positional argument)")
+	ranks := fs.Int("ranks", 0, "world size (0 = the application's default)")
+	scale := fs.Float64("scale", 0.25, "workload scale")
+	jsonPath := fs.String("json", "", "export the fleet report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if name == "" {
+		name = *appFlag
+	}
+	if name == "" {
+		return fmt.Errorf("fleet: application name expected (see 'diogenes list')")
+	}
+	fr, err := eng.Fleet(name, *scale, *ranks)
+	if err != nil {
+		return err
+	}
+	if err := report.FleetTable(w, fr); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, fr.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nfleet report exported to %s\n", *jsonPath)
+	}
+	return nil
 }
 
 // Overhead prints the §5.3 cost breakdown for one application.

@@ -156,6 +156,47 @@ func TestAnalyzeErrors(t *testing.T) {
 	}
 }
 
+func TestFleetCommand(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "fleet.json")
+	code, out, errOut := runMain(t, "fleet", "amg", "-ranks", "2", "-scale", "0.02", "-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	for _, want := range []string{
+		"Diogenes Fleet Analysis — amg (2 ranks)",
+		"Per-rank pipelines",
+		"Cross-rank duplicate transfers",
+		"Problems across ranks",
+		"Collective skew attribution",
+		"fleet report exported to",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "DEGRADED") {
+		t.Error("healthy fleet run rendered a DEGRADED section")
+	}
+	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
+		t.Errorf("fleet JSON export missing or empty")
+	}
+}
+
+func TestFleetErrors(t *testing.T) {
+	if code, _, _ := runMain(t, "fleet"); code != 1 {
+		t.Fatal("missing app name accepted")
+	}
+	if code, _, _ := runMain(t, "fleet", "nope", "-scale", "0.02"); code != 1 {
+		t.Fatal("unknown app accepted")
+	}
+	// Single-process applications have no world to fan over.
+	if code, _, errOut := runMain(t, "fleet", "cumf_als", "-scale", "0.02"); code != 1 ||
+		!strings.Contains(errOut, "single-process") {
+		t.Fatalf("single-process app accepted (stderr %q)", errOut)
+	}
+}
+
 func TestTable1Command(t *testing.T) {
 	code, out, errOut := runMain(t, "table1", "-scale", "0.02")
 	if code != 0 {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"diogenes/internal/apps"
 	"diogenes/internal/ffm"
@@ -34,6 +35,10 @@ type Engine struct {
 	// hit/miss counters. Cached pipeline results record no spans — a hit
 	// means no run happened, and the trace says so honestly.
 	Obs *obs.Observer
+	// FleetBackoff is the pause before a failed fleet rank's single retry.
+	// 0 selects a 50ms default; tests set it to a nanosecond. Backoff is
+	// wall time, not virtual time — it paces the retry, never the model.
+	FleetBackoff time.Duration
 }
 
 // SetObserver attaches an observer to the engine (nil detaches), wiring it

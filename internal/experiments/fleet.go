@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/ffm"
+	"diogenes/internal/mpi"
+	"diogenes/internal/proc"
+	"diogenes/internal/sched"
+)
+
+// defaultFleetBackoff is the pause before a failed rank's single retry when
+// the engine does not set one.
+const defaultFleetBackoff = 50 * time.Millisecond
+
+// FleetRankID names one rank's pipeline for content addressing. It matches
+// the mpi adapter's app name, so the key changes with both the observed
+// rank and the world size.
+func FleetRankID(app string, rank, ranks int) string {
+	return fmt.Sprintf("%s@rank%d/%d", app, rank, ranks)
+}
+
+// Fleet runs the full FFM pipeline on every rank of the named application's
+// MPI world and aggregates the per-rank findings into one fleet report:
+// cross-rank duplicate transfers, per-problem benefit spread, and
+// collective-skew attribution from a whole-world reference run.
+//
+// Fault containment: a rank whose pipeline fails (error or panic) is
+// retried once after a short backoff; if the retry also fails the rank is
+// recorded in the report's FailedRanks and the launch still succeeds with a
+// partial report. Fleet only returns an error when the request itself is
+// invalid (unknown or single-process application, bad rank count).
+//
+// ranks 0 selects the application's default world size. Per-rank pipelines
+// are memoized through the engine's cache like every other engine run.
+func (e *Engine) Fleet(name string, scale float64, ranks int) (*ffm.FleetReport, error) {
+	spec, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if spec.MPI == nil {
+		return nil, fmt.Errorf("experiments: %s is single-process; fleet analysis needs an MPI-modelled application", name)
+	}
+	if ranks == 0 {
+		ranks = spec.MPI.DefaultRanks
+	}
+	mcfg := mpi.Config{
+		Ranks:          ranks,
+		BarrierLatency: spec.MPI.BarrierLatency,
+		Factory:        spec.Factory(),
+	}
+	cfg := e.config(spec)
+	keyFor := func(r int) (string, bool) {
+		return CacheKey(FleetRankID(name, r, ranks), scale, apps.Original, cfg)
+	}
+	newProg := func(int) mpi.RankProgram { return spec.MPI.Program(scale, apps.Original) }
+	return e.fleet(name, newProg, mcfg, keyFor)
+}
+
+// FleetOver runs fleet analysis over an explicit rank program and launch
+// configuration, bypassing the registry and the report cache. newProg is
+// called with the rank whose pipeline the program instance will serve
+// (mpi.NoObserved for the whole-world skew reference run), so tests can
+// inject faults into one rank's tool instance. It applies the same
+// containment policy as Fleet.
+func (e *Engine) FleetOver(app string, newProg func(observed int) mpi.RankProgram, mcfg mpi.Config) (*ffm.FleetReport, error) {
+	return e.fleet(app, newProg, mcfg, nil)
+}
+
+func (e *Engine) fleet(app string, newProg func(int) mpi.RankProgram, mcfg mpi.Config, keyFor func(int) (string, bool)) (*ffm.FleetReport, error) {
+	if mcfg.Ranks < 1 {
+		return nil, fmt.Errorf("experiments: fleet over %d ranks, need at least 1", mcfg.Ranks)
+	}
+	pool, err := e.pool()
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([]ffm.RankOutcome, mcfg.Ranks)
+	tasks := make([]sched.Task, mcfg.Ranks)
+	for r := range tasks {
+		r := r
+		tasks[r] = sched.Task{
+			Name: fmt.Sprintf("fleet/%s/rank%d", app, r),
+			Fn: func(context.Context) error {
+				outcomes[r] = e.fleetRank(app, r, newProg, mcfg, keyFor)
+				// Containment: a failed rank degrades the report; it must
+				// never fail — or first-error-cancel — the launch.
+				return nil
+			},
+		}
+	}
+	if _, err := pool.Run(context.Background(), tasks...); err != nil {
+		return nil, err
+	}
+	// Whole-world reference run for the skew attribution. Its failure
+	// (the same fault the per-rank pipelines contained) degrades the
+	// report to skew-less rather than failing the launch.
+	skew := e.fleetSkew(newProg(mpi.NoObserved), mcfg)
+	return ffm.AggregateFleet(app, mcfg.Ranks, outcomes, skew), nil
+}
+
+// fleetRank runs one rank's pipeline with containment: panics become
+// errors, and a failed first attempt is retried once after FleetBackoff,
+// bypassing the cache (which memoizes the failure).
+func (e *Engine) fleetRank(app string, rank int, newProg func(int) mpi.RankProgram, mcfg mpi.Config, keyFor func(int) (string, bool)) ffm.RankOutcome {
+	out := ffm.RankOutcome{Rank: rank}
+	span := e.Obs.Root().Child(rank, "rank", FleetRankID(app, rank, mcfg.Ranks))
+	defer span.End()
+	cfg := e.fleetConfig(mcfg)
+	cfg.Parent = span
+	run := func() (*ffm.Report, error) {
+		return containedRun(mpi.App(newProg(rank), mcfg, rank), cfg)
+	}
+	attempt := run
+	if e.Cache != nil && keyFor != nil {
+		if key, ok := keyFor(rank); ok {
+			attempt = func() (*ffm.Report, error) {
+				hits, _, _ := e.Cache.Stats()
+				rep, err := e.Cache.Report(key, run)
+				after, _, _ := e.Cache.Stats()
+				out.FromCache = err == nil && after > hits
+				return rep, err
+			}
+		}
+	}
+	rep, err := attempt()
+	out.Attempts = 1
+	if err != nil {
+		out.Retried = true
+		out.Attempts = 2
+		out.FromCache = false
+		time.Sleep(e.fleetBackoff())
+		rep, err = run()
+	}
+	if err != nil {
+		out.Err = err.Error()
+		span.SetArg("failed", out.Err)
+		return out
+	}
+	out.Report = rep
+	return out
+}
+
+// containedRun executes one rank pipeline, converting panics into errors.
+// proc.SafeRun only recovers simulated-deadlock panics; a fleet launch must
+// survive any rank fault.
+func containedRun(app proc.App, cfg ffm.Config) (rep *ffm.Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rep, err = nil, fmt.Errorf("experiments: fleet rank pipeline %s panicked: %v", app.Name(), v)
+		}
+	}()
+	return ffm.Run(app, cfg)
+}
+
+// fleetConfig assembles the per-rank ffm configuration for an explicit
+// launch config (FleetOver has no registry spec to derive it from).
+func (e *Engine) fleetConfig(mcfg mpi.Config) ffm.Config {
+	cfg := ffm.DefaultConfig()
+	cfg.Factory = mcfg.Factory
+	cfg.Workers = e.StageWorkers
+	cfg.Obs = e.Obs
+	return cfg
+}
+
+// fleetBackoff resolves the retry pause.
+func (e *Engine) fleetBackoff() time.Duration {
+	if e.FleetBackoff > 0 {
+		return e.FleetBackoff
+	}
+	return defaultFleetBackoff
+}
+
+// fleetSkew runs one uninstrumented whole-world pass and converts its
+// barrier ledger. A nil return (setup error, rank fault) degrades the fleet
+// report to skew-less.
+func (e *Engine) fleetSkew(prog mpi.RankProgram, mcfg mpi.Config) (skew *ffm.FleetSkew) {
+	sp := e.Obs.Root().Child(mcfg.Ranks, "fleet", "skew-reference")
+	defer sp.End()
+	defer func() {
+		if v := recover(); v != nil {
+			skew = nil
+			sp.SetArg("failed", fmt.Sprint(v))
+		}
+	}()
+	w, err := mpi.NewWorld(prog, mcfg, mpi.NoObserved, nil)
+	if err != nil {
+		sp.SetArg("failed", err.Error())
+		return nil
+	}
+	if err := w.Run(); err != nil {
+		sp.SetArg("failed", err.Error())
+		return nil
+	}
+	return convertSkew(w.Skew())
+}
+
+// convertSkew maps the mpi barrier ledger onto the ffm report form and
+// picks the dominant straggler (most charged wait; ties go to the lowest
+// rank).
+func convertSkew(ledger []mpi.RankSkew) *ffm.FleetSkew {
+	out := &ffm.FleetSkew{Straggler: -1, PerRank: make([]ffm.FleetSkewRank, len(ledger))}
+	for i, rs := range ledger {
+		out.PerRank[i] = ffm.FleetSkewRank{
+			Rank: rs.Rank, Waited: rs.Waited, Charged: rs.Charged, Straggles: rs.Straggles,
+		}
+		out.TotalWait += rs.Waited
+		if rs.Charged > 0 && (out.Straggler < 0 || rs.Charged > out.PerRank[out.Straggler].Charged) {
+			out.Straggler = rs.Rank
+		}
+	}
+	return out
+}
+
+// FleetSuiteKey returns the content-addressed key covering one fleet
+// request: the kind plus every rank's run key, so fleet documents live in
+// the same persistent store as the suite kinds. ranks 0 selects the
+// application default. The second result is false when the application is
+// unknown, not MPI-modelled, or cannot be fingerprinted.
+func (e *Engine) FleetSuiteKey(name string, scale float64, ranks int) (string, bool) {
+	spec, err := apps.ByName(name)
+	if err != nil || spec.MPI == nil {
+		return "", false
+	}
+	if ranks == 0 {
+		ranks = spec.MPI.DefaultRanks
+	}
+	if ranks < 1 {
+		return "", false
+	}
+	cfg := e.config(spec)
+	h := sha256.New()
+	writeLenPrefixed(h, []byte("fleet"))
+	var rb [8]byte
+	binary.BigEndian.PutUint64(rb[:], uint64(ranks))
+	h.Write(rb[:])
+	for r := 0; r < ranks; r++ {
+		k, ok := CacheKey(FleetRankID(name, r, ranks), scale, apps.Original, cfg)
+		if !ok {
+			return "", false
+		}
+		writeLenPrefixed(h, []byte(k))
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}

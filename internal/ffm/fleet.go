@@ -1,0 +1,261 @@
+package ffm
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"diogenes/internal/hashstore"
+	"diogenes/internal/simtime"
+	"diogenes/internal/trace"
+)
+
+// RankOutcome is one rank's pipeline outcome within a fleet analysis. The
+// full Report stays in memory for aggregation but is excluded from the
+// serialized fleet document; the summary fields below travel instead.
+type RankOutcome struct {
+	Rank   int     `json:"rank"`
+	Report *Report `json:"-"`
+	// Err is the final error message when the rank failed both attempts.
+	Err string `json:"error,omitempty"`
+	// Attempts is 1 for a clean first run, 2 when the rank was retried.
+	Attempts int  `json:"attempts"`
+	Retried  bool `json:"retried,omitempty"`
+	// FromCache marks a first attempt served by the report cache.
+	FromCache bool `json:"fromCache,omitempty"`
+
+	// Summary fields filled from Report by AggregateFleet.
+	ExecTime     simtime.Duration `json:"execTime,omitempty"`
+	TotalBenefit simtime.Duration `json:"totalBenefit,omitempty"`
+	Problems     int              `json:"problems,omitempty"`
+	Duplicates   int              `json:"duplicateTransfers,omitempty"`
+}
+
+// Failed reports whether the rank produced no report. It keys on the
+// error string, not the in-process Report pointer, so an outcome decoded
+// from a serialized fleet document answers the same way.
+func (o RankOutcome) Failed() bool { return o.Err != "" }
+
+// FleetDuplicate is one cross-rank duplicate-transfer finding: the same
+// payload digest moved between host and device on two or more ranks. The
+// per-rank pipelines each flag their own repeats; this merges them into one
+// fleet-level finding with the rank list.
+type FleetDuplicate struct {
+	Hash  string `json:"hash"`
+	Func  string `json:"func"`
+	Ranks []int  `json:"ranks"`
+	// Records is the number of transfer records carrying this digest
+	// across all analyzed ranks; Bytes is their total payload volume.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// FleetProblem aggregates one analysis problem group (same kind and label)
+// across the ranks that reported it.
+type FleetProblem struct {
+	Kind    string           `json:"kind"`
+	Label   string           `json:"label"`
+	Ranks   []int            `json:"ranks"`
+	Total   simtime.Duration `json:"total"`
+	Min     simtime.Duration `json:"min"`
+	Max     simtime.Duration `json:"max"`
+	MinRank int              `json:"minRank"`
+	MaxRank int              `json:"maxRank"`
+}
+
+// FleetSkewRank is one rank's collective-skew account (mirrors
+// mpi.RankSkew without importing the package: ffm stays launch-agnostic).
+type FleetSkewRank struct {
+	Rank      int              `json:"rank"`
+	Waited    simtime.Duration `json:"waited"`
+	Charged   simtime.Duration `json:"charged"`
+	Straggles int              `json:"straggles"`
+}
+
+// FleetSkew is the whole-world collective-skew attribution: wait time is
+// charged to the straggler rank that caused it.
+type FleetSkew struct {
+	// TotalWait is the time all ranks together spent blocked at barriers
+	// behind slower ranks (collective latency excluded).
+	TotalWait simtime.Duration `json:"totalWait"`
+	// Straggler is the rank charged the most wait, or -1 when the world
+	// is perfectly balanced.
+	Straggler int             `json:"straggler"`
+	PerRank   []FleetSkewRank `json:"perRank"`
+}
+
+// FleetReport is the cluster-wide analysis: every rank's pipeline outcome
+// plus the cross-rank aggregates.
+type FleetReport struct {
+	App   string `json:"app"`
+	Ranks int    `json:"ranks"`
+	// Analyzed is the number of ranks that produced a report.
+	Analyzed int `json:"analyzed"`
+	// Partial marks a degraded report: one or more ranks failed both
+	// attempts and are missing from the aggregates.
+	Partial     bool          `json:"partial"`
+	FailedRanks []int         `json:"failedRanks,omitempty"`
+	PerRank     []RankOutcome `json:"perRank"`
+
+	Duplicates []FleetDuplicate `json:"crossRankDuplicates"`
+	// CrossRankDupBytes is the total payload volume of transfers whose
+	// digest was seen on at least two ranks.
+	CrossRankDupBytes int64          `json:"crossRankDupBytes"`
+	Problems          []FleetProblem `json:"problems"`
+	Skew              *FleetSkew     `json:"skew,omitempty"`
+}
+
+// AggregateFleet merges per-rank pipeline outcomes into one fleet report:
+// duplicate transfers are deduplicated across ranks by payload digest,
+// problem groups are summed with min/max rank attribution, and the skew
+// account (when the whole-world reference run produced one) rides along.
+// outcomes must be indexed by rank.
+func AggregateFleet(app string, ranks int, outcomes []RankOutcome, skew *FleetSkew) *FleetReport {
+	fr := &FleetReport{App: app, Ranks: ranks, PerRank: outcomes, Skew: skew}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Report == nil {
+			fr.Partial = true
+			fr.FailedRanks = append(fr.FailedRanks, o.Rank)
+			continue
+		}
+		fr.Analyzed++
+		o.ExecTime = o.Report.UninstrumentedTime
+		if o.Report.Analysis != nil {
+			o.TotalBenefit = o.Report.Analysis.TotalBenefit()
+			o.Problems = len(o.Report.Analysis.Graph.ProblematicNodes())
+		}
+	}
+	sort.Ints(fr.FailedRanks)
+	fr.Duplicates, fr.CrossRankDupBytes = crossRankDuplicates(outcomes)
+	fr.Problems = fleetProblems(outcomes)
+	return fr
+}
+
+// crossRankDuplicates scans every analyzed rank's resolved transfer hashes
+// and reports each digest seen on two or more ranks.
+func crossRankDuplicates(outcomes []RankOutcome) ([]FleetDuplicate, int64) {
+	type acc struct {
+		fn      string
+		ranks   []int
+		records int
+		bytes   int64
+	}
+	byHash := make(map[string]*acc)
+	var order []string // first-appearance order for stable iteration
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Report == nil || o.Report.Trace == nil {
+			continue
+		}
+		// Hashes are filled lazily by stage 3's resolver; force them
+		// before reading. Idempotent, and a no-op on decoded runs whose
+		// hashes are already strings.
+		o.Report.Trace.ResolveHashes()
+		for r := range o.Report.Trace.Records {
+			rec := &o.Report.Trace.Records[r]
+			if rec.Class != trace.ClassTransfer || !hashstore.ValidDigest(rec.Hash) {
+				continue
+			}
+			if rec.Duplicate {
+				o.Duplicates++
+			}
+			a := byHash[rec.Hash]
+			if a == nil {
+				a = &acc{fn: rec.Func}
+				byHash[rec.Hash] = a
+				order = append(order, rec.Hash)
+			}
+			if n := len(a.ranks); n == 0 || a.ranks[n-1] != o.Rank {
+				a.ranks = append(a.ranks, o.Rank)
+			}
+			a.records++
+			a.bytes += int64(rec.Bytes)
+		}
+	}
+	var out []FleetDuplicate
+	var totalBytes int64
+	for _, h := range order {
+		a := byHash[h]
+		if len(a.ranks) < 2 {
+			continue
+		}
+		out = append(out, FleetDuplicate{
+			Hash: h, Func: a.fn, Ranks: a.ranks, Records: a.records, Bytes: a.bytes,
+		})
+		totalBytes += a.bytes
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out, totalBytes
+}
+
+// fleetProblems merges the per-rank overview groups by (kind, label),
+// summing benefit and attributing the min and max to their ranks.
+func fleetProblems(outcomes []RankOutcome) []FleetProblem {
+	type key struct{ kind, label string }
+	byKey := make(map[key]*FleetProblem)
+	var order []key
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Report == nil || o.Report.Analysis == nil {
+			continue
+		}
+		for _, grp := range o.Report.Analysis.Overview {
+			k := key{grp.Kind.String(), grp.Label}
+			fp := byKey[k]
+			if fp == nil {
+				fp = &FleetProblem{
+					Kind: k.kind, Label: k.label,
+					Min: grp.Benefit, Max: grp.Benefit,
+					MinRank: o.Rank, MaxRank: o.Rank,
+				}
+				byKey[k] = fp
+				order = append(order, k)
+			}
+			fp.Ranks = append(fp.Ranks, o.Rank)
+			fp.Total += grp.Benefit
+			if grp.Benefit < fp.Min {
+				fp.Min, fp.MinRank = grp.Benefit, o.Rank
+			}
+			if grp.Benefit > fp.Max {
+				fp.Max, fp.MaxRank = grp.Benefit, o.Rank
+			}
+		}
+	}
+	out := make([]FleetProblem, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// TopProblem returns the highest-total aggregated problem, if any.
+func (fr *FleetReport) TopProblem() (FleetProblem, bool) {
+	if len(fr.Problems) == 0 {
+		return FleetProblem{}, false
+	}
+	return fr.Problems[0], true
+}
+
+// WriteJSON exports the fleet report. The document contains no maps and no
+// wall-clock values, so it is byte-identical for identical inputs
+// regardless of worker count.
+func (fr *FleetReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fr)
+}

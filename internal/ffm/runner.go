@@ -31,6 +31,10 @@ type Config struct {
 	// checks; recording never advances any virtual clock, so the Report is
 	// identical with or without it.
 	Obs *obs.Observer
+	// Parent, when non-nil, becomes the pipeline's span parent instead of
+	// the observer's root. Fleet analysis uses it to group each rank's
+	// five-stage pipeline under that rank's span.
+	Parent *obs.Span
 }
 
 // DefaultConfig returns the standard tool configuration.
@@ -136,7 +140,11 @@ func (r *Report) SelfOverhead() *obs.SelfOverhead {
 func Run(app proc.App, cfg Config) (*Report, error) {
 	o := cfg.Obs
 	mets := o.Metrics()
-	runSpan := o.Root().Child(0, "app", app.Name())
+	parent := cfg.Parent
+	if parent == nil {
+		parent = o.Root()
+	}
+	runSpan := parent.Child(0, "app", app.Name())
 	defer runSpan.End()
 
 	rep := &Report{App: app.Name()}

@@ -43,6 +43,24 @@ func (k Key) String() string { return hex.EncodeToString(k[:8]) }
 // Hex returns the full hex digest.
 func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 
+// ValidDigest reports whether s looks like a payload digest as trace
+// records render them: the abbreviated form (Key.String, 16 lowercase hex
+// characters) or the full form (Key.Hex, 64). Fleet aggregation keys
+// cross-rank duplicate findings on these strings and must skip records
+// whose digest was never resolved.
+func ValidDigest(s string) bool {
+	if len(s) != 16 && len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Entry records the first sighting of a payload.
 type Entry struct {
 	FirstSeq int64 // sequence number of the first transfer of this content

@@ -241,3 +241,25 @@ func TestQuickDuplicateCountConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestValidDigest(t *testing.T) {
+	cases := []struct {
+		s  string
+		ok bool
+	}{
+		{"", false},
+		{"0123456789abcdef", true},               // abbreviated Key.String form
+		{Hash([]byte("payload")).String(), true}, // real abbreviated digest
+		{Hash([]byte("payload")).Hex(), true},    // full Key.Hex form
+		{"0123456789ABCDEF", false},              // uppercase is never rendered
+		{"0123456789abcde", false},               // wrong length
+		{"0123456789abcdefg", false},             // wrong length + non-hex
+		{"zzzz456789abcdef", false},              // non-hex at valid length
+		{"payload-16-bytes", false},              // valid length, not hex
+	}
+	for _, c := range cases {
+		if got := ValidDigest(c.s); got != c.ok {
+			t.Errorf("ValidDigest(%q) = %v, want %v", c.s, got, c.ok)
+		}
+	}
+}

@@ -37,6 +37,11 @@ type RankProgram interface {
 	Step(p *proc.Process, rank int, st RankState, step int) error
 }
 
+// NoObserved selects no observed rank: every rank's process is built from
+// the factory. Whole-world reference runs (fleet skew measurement, tests)
+// use this; FFM instrumentation always names a concrete observed rank.
+const NoObserved = -1
+
 // Config describes the launch.
 type Config struct {
 	// Ranks is the world size.
@@ -56,31 +61,66 @@ func DefaultConfig() Config {
 	}
 }
 
+// RankSkew is one rank's collective-skew account over a world run.
+type RankSkew struct {
+	Rank int `json:"rank"`
+	// Waited is the time this rank spent blocked at barriers waiting for
+	// slower ranks (excluding BarrierLatency, the unavoidable collective
+	// cost every rank pays).
+	Waited simtime.Duration `json:"waited"`
+	// Charged is the wait time this rank inflicted on the others while it
+	// was the straggler — the sum, over barriers where it arrived last, of
+	// every other rank's wait.
+	Charged simtime.Duration `json:"charged"`
+	// Straggles counts barriers where this rank arrived last and at least
+	// one other rank actually waited.
+	Straggles int `json:"straggles"`
+}
+
 // World is one running multi-rank launch.
 type World struct {
 	cfg    Config
 	procs  []*proc.Process
 	states []RankState
 	prog   RankProgram
+	skew   []RankSkew
 	// barriers counts executed collectives.
 	barriers int
 }
 
 // NewWorld sets up all ranks. The caller may supply a pre-built process for
-// one observed rank (used by the FFM adapter); pass nil observedProc to
-// build every rank from the factory.
+// one observed rank (used by the FFM adapter — "the observed rank lives in
+// the app's process").
+//
+// The nil-observedProc case: without a caller-supplied process no rank can
+// live in the app's process, so the observed-rank contract cannot hold.
+// NoObserved (or, for historical callers, any in-range rank — normalized to
+// NoObserved) is accepted and every rank is built from the factory;
+// anything else is an error rather than a silently factory-built "observed"
+// rank.
 func NewWorld(prog RankProgram, cfg Config, observed int, observedProc *proc.Process) (*World, error) {
+	// Validate the world size before the procs/states slices are
+	// allocated: a negative Ranks must fail here, not panic in make.
 	if cfg.Ranks < 1 {
-		return nil, fmt.Errorf("mpi: world size %d", cfg.Ranks)
+		return nil, fmt.Errorf("mpi: world size %d, need at least 1 rank", cfg.Ranks)
 	}
-	if observed < 0 || observed >= cfg.Ranks {
+	if observedProc == nil {
+		if observed != NoObserved && (observed < 0 || observed >= cfg.Ranks) {
+			return nil, fmt.Errorf("mpi: observed rank %d of %d without its process (pass mpi.NoObserved to observe none)", observed, cfg.Ranks)
+		}
+		observed = NoObserved
+	} else if observed < 0 || observed >= cfg.Ranks {
 		return nil, fmt.Errorf("mpi: observed rank %d of %d", observed, cfg.Ranks)
 	}
 	w := &World{cfg: cfg, prog: prog}
 	w.procs = make([]*proc.Process, cfg.Ranks)
 	w.states = make([]RankState, cfg.Ranks)
+	w.skew = make([]RankSkew, cfg.Ranks)
+	for r := range w.skew {
+		w.skew[r].Rank = r
+	}
 	for r := 0; r < cfg.Ranks; r++ {
-		if r == observed && observedProc != nil {
+		if r == observed {
 			w.procs[r] = observedProc
 		} else {
 			w.procs[r] = cfg.Factory.New()
@@ -100,18 +140,42 @@ func (w *World) Rank(r int) *proc.Process { return w.procs[r] }
 // Barriers returns the number of collectives executed.
 func (w *World) Barriers() int { return w.barriers }
 
+// Skew returns a copy of the per-rank collective-skew accounts accumulated
+// so far: how long each rank waited at barriers, and how much wait each
+// rank inflicted on the others while it was the straggler.
+func (w *World) Skew() []RankSkew {
+	out := make([]RankSkew, len(w.skew))
+	copy(out, w.skew)
+	return out
+}
+
 // Barrier advances every rank to the latest rank's time plus the collective
 // latency — the lockstep synchronization of a bulk-synchronous solver.
+//
+// The skew ledger charges this barrier's total wait to the straggler — the
+// last-arriving rank (ties broken toward the lowest rank, keeping the
+// ledger deterministic). BarrierLatency is excluded: every rank pays it
+// even in a perfectly balanced world.
 func (w *World) Barrier() {
 	var latest simtime.Time
-	for _, p := range w.procs {
-		if p.Clock.Now() > latest {
-			latest = p.Clock.Now()
+	straggler := 0
+	for r, p := range w.procs {
+		if now := p.Clock.Now(); now > latest {
+			latest = now
+			straggler = r
 		}
 	}
 	target := latest.Add(w.cfg.BarrierLatency)
-	for _, p := range w.procs {
+	var total simtime.Duration
+	for r, p := range w.procs {
+		wait := latest.Sub(p.Clock.Now())
+		w.skew[r].Waited += wait
+		total += wait
 		p.Clock.AdvanceTo(target)
+	}
+	if total > 0 {
+		w.skew[straggler].Charged += total
+		w.skew[straggler].Straggles++
 	}
 	w.barriers++
 }

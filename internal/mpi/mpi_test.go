@@ -143,9 +143,112 @@ func TestWorldValidation(t *testing.T) {
 	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: 0, Factory: proc.DefaultFactory()}, 0, nil); err == nil {
 		t.Fatal("zero ranks accepted")
 	}
+	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: -3, Factory: proc.DefaultFactory()}, 0, nil); err == nil {
+		t.Fatal("negative ranks accepted")
+	}
 	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: 2, Factory: proc.DefaultFactory()}, 5, nil); err == nil {
 		t.Fatal("out-of-range observed rank accepted")
 	}
+	// With a supplied process the observed rank must be in range.
+	p := proc.DefaultFactory().New()
+	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: 2, Factory: proc.DefaultFactory()}, 2, p); err == nil {
+		t.Fatal("out-of-range observed rank with process accepted")
+	}
+	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: 2, Factory: proc.DefaultFactory()}, NoObserved, p); err == nil {
+		t.Fatal("NoObserved with a supplied process accepted")
+	}
+	// NoObserved with a nil process is the whole-world reference form.
+	if _, err := NewWorld(&skewedSolver{steps: 1}, Config{Ranks: 2, Factory: proc.DefaultFactory()}, NoObserved, nil); err != nil {
+		t.Fatalf("NoObserved rejected: %v", err)
+	}
+}
+
+func TestWorldNormalizesNilObservedProc(t *testing.T) {
+	// Historical callers pass (0, nil) meaning "no observed process"; the
+	// pair is normalized to NoObserved — every rank is factory-built and
+	// the run proceeds. An observed value that is neither NoObserved nor a
+	// valid rank is rejected instead of silently normalized.
+	w, err := NewWorld(&skewedSolver{steps: 1}, Config{
+		Ranks: 2, BarrierLatency: 10 * simtime.Microsecond, Factory: proc.DefaultFactory(),
+	}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if w.Rank(r) == nil {
+			t.Fatalf("rank %d has no process", r)
+		}
+	}
+}
+
+func TestWorldSkewChargesStraggler(t *testing.T) {
+	// skewedSolver's per-step cost grows with the rank, so rank 2 arrives
+	// last at every barrier.
+	w, err := NewWorld(&skewedSolver{steps: 3}, Config{
+		Ranks: 3, BarrierLatency: 50 * simtime.Microsecond, Factory: proc.DefaultFactory(),
+	}, NoObserved, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	skew := w.Skew()
+	if len(skew) != 3 {
+		t.Fatalf("skew accounts = %d, want 3", len(skew))
+	}
+	if skew[2].Straggles != 3 {
+		t.Fatalf("rank 2 straggles = %d, want 3", skew[2].Straggles)
+	}
+	if skew[2].Waited != 0 {
+		t.Fatalf("straggler waited %v, want 0", skew[2].Waited)
+	}
+	if skew[0].Waited <= skew[1].Waited || skew[1].Waited <= 0 {
+		t.Fatalf("waits not ordered by slack: rank0 %v, rank1 %v", skew[0].Waited, skew[1].Waited)
+	}
+	if got, want := skew[2].Charged, skew[0].Waited+skew[1].Waited; got != want {
+		t.Fatalf("charged %v, want the others' total wait %v", got, want)
+	}
+	if skew[0].Charged != 0 || skew[1].Charged != 0 {
+		t.Fatalf("non-stragglers charged: %v, %v", skew[0].Charged, skew[1].Charged)
+	}
+}
+
+func TestWorldSkewBalancedWorldHasNoStraggler(t *testing.T) {
+	// identicalSolver: every rank does the same work, so no barrier has a
+	// straggler and no wait is charged.
+	w, err := NewWorld(&identicalSolver{steps: 2}, Config{
+		Ranks: 2, BarrierLatency: 25 * simtime.Microsecond, Factory: proc.DefaultFactory(),
+	}, NoObserved, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range w.Skew() {
+		if rs.Waited != 0 || rs.Charged != 0 || rs.Straggles != 0 {
+			t.Fatalf("balanced world produced skew: %+v", rs)
+		}
+	}
+}
+
+// identicalSolver is a BSP program whose ranks do identical work.
+type identicalSolver struct{ steps int }
+
+func (s *identicalSolver) Name() string { return "identical-solver" }
+func (s *identicalSolver) Steps() int   { return s.steps }
+
+func (s *identicalSolver) Setup(p *proc.Process, rank int) (RankState, error) {
+	return nil, nil
+}
+
+func (s *identicalSolver) Step(p *proc.Process, rank int, st RankState, step int) error {
+	p.CPUWork(100 * simtime.Microsecond)
+	return nil
 }
 
 func TestWorldAppName(t *testing.T) {

@@ -59,6 +59,18 @@ func TestGoldenMarkdown(t *testing.T) {
 	}
 }
 
+func TestGoldenFleetTable(t *testing.T) {
+	fr, err := experiments.NewEngine(1).Fleet("amg", goldenScale, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FleetTable(&buf, fr); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleet_amg.txt.golden", buf.Bytes())
+}
+
 func TestGoldenTable1(t *testing.T) {
 	rows, err := experiments.NewEngine(1).Table1(goldenScale)
 	if err != nil {

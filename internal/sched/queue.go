@@ -22,8 +22,9 @@ import (
 // queue is closed immediately afterwards, with the same panic containment
 // as Pool, and Close blocks until the last accepted task has finished.
 type Queue struct {
-	tasks chan Task
-	wg    sync.WaitGroup
+	tasks   chan Task
+	workers int
+	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -58,6 +59,7 @@ func NewQueue(workers, capacity int, m *obs.Registry) (*Queue, error) {
 	}
 	q := &Queue{
 		tasks:    make(chan Task, capacity),
+		workers:  workers,
 		depth:    m.Gauge("sched/jobqueue_depth"),
 		peak:     m.Gauge("sched/jobqueue_depth_peak"),
 		accepted: m.Counter("sched/jobqueue_accepted"),
@@ -118,6 +120,10 @@ func (q *Queue) Depth() int { return len(q.tasks) }
 
 // Capacity returns the backlog bound.
 func (q *Queue) Capacity() int { return cap(q.tasks) }
+
+// Workers returns the resolved worker count (after the 0 → GOMAXPROCS
+// default).
+func (q *Queue) Workers() int { return q.workers }
 
 // Close stops accepting new tasks and blocks until every accepted task
 // has finished. It is idempotent and safe to call concurrently with

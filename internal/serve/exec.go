@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"diogenes/internal/autofix"
 	"diogenes/internal/experiments"
@@ -21,6 +22,7 @@ type ResultDoc struct {
 	Kind  string   `json:"kind"`
 	App   string   `json:"app,omitempty"`
 	Apps  []string `json:"apps,omitempty"`
+	Ranks int      `json:"ranks,omitempty"`
 	Scale float64  `json:"scale"`
 	// JSON is the kind-specific payload: the full ffm report document for
 	// "run", the row sets for the table kinds.
@@ -49,13 +51,15 @@ func (s *Server) taskFn(j *Job, eng *experiments.Engine) func(context.Context) e
 			defer cancel()
 		}
 		type outcome struct {
-			doc []byte
-			err error
+			doc     []byte
+			persist bool
+			err     error
 		}
+		started := time.Now()
 		ch := make(chan outcome, 1)
 		go func() {
-			doc, err := s.runJob(eng, j.Req)
-			ch <- outcome{doc, err}
+			doc, persist, err := s.runJob(eng, j.Req)
+			ch <- outcome{doc, persist, err}
 		}()
 		select {
 		case <-ctx.Done():
@@ -70,6 +74,7 @@ func (s *Server) taskFn(j *Job, eng *experiments.Engine) func(context.Context) e
 				s.mCanceled.Inc()
 			}
 		case o := <-ch:
+			s.noteJobDuration(time.Since(started))
 			if o.err != nil {
 				if j.finish(StateFailed, o.err.Error(), nil) {
 					s.mFailed.Inc()
@@ -78,7 +83,10 @@ func (s *Server) taskFn(j *Job, eng *experiments.Engine) func(context.Context) e
 			}
 			// Persist before announcing completion so a graceful
 			// shutdown that drains this job also flushes its report.
-			if j.storeKey != "" && s.store != nil {
+			// Degraded documents (a partial fleet report) are served but
+			// never stored — a later identical request must re-run and
+			// get another chance at a complete answer.
+			if o.persist && j.storeKey != "" && s.store != nil {
 				if err := s.store.Put(j.storeKey, o.doc); err != nil {
 					s.mStorePutErr.Inc()
 				}
@@ -92,62 +100,81 @@ func (s *Server) taskFn(j *Job, eng *experiments.Engine) func(context.Context) e
 }
 
 // runJob executes the request on the job's engine and renders its result
-// document.
-func (s *Server) runJob(eng *experiments.Engine, req Request) ([]byte, error) {
-	doc := ResultDoc{Kind: req.Kind, App: req.App, Apps: req.Apps, Scale: req.Scale}
+// document. persist reports whether the document may enter the persistent
+// store; a degraded result (partial fleet report) is served but not
+// stored, so a later identical request re-runs instead of replaying the
+// degradation.
+func (s *Server) runJob(eng *experiments.Engine, req Request) (data []byte, persist bool, err error) {
+	doc := ResultDoc{Kind: req.Kind, App: req.App, Apps: req.Apps, Ranks: req.Ranks, Scale: req.Scale}
+	persist = true
 	var text bytes.Buffer
 	switch req.Kind {
 	case KindRun:
 		rep, err := eng.RunApp(req.App, req.Scale)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		var payload bytes.Buffer
 		if err := rep.WriteJSON(&payload); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		doc.JSON = payload.Bytes()
 		if err := report.WriteMarkdown(&text, rep); err != nil {
-			return nil, err
+			return nil, false, err
+		}
+	case KindFleet:
+		fr, err := eng.Fleet(req.App, req.Scale, req.Ranks)
+		if err != nil {
+			return nil, false, err
+		}
+		persist = !fr.Partial
+		var payload bytes.Buffer
+		if err := fr.WriteJSON(&payload); err != nil {
+			return nil, false, err
+		}
+		doc.JSON = payload.Bytes()
+		if err := report.FleetTable(&text, fr); err != nil {
+			return nil, false, err
 		}
 	case KindTable1:
 		rows, err := eng.Table1(req.Scale)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if doc.JSON, err = json.Marshal(rows); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if err := report.Table1(&text, rows); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	case KindTable2:
 		sections, err := eng.Table2(req.Scale, req.Apps)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if doc.JSON, err = json.Marshal(sections); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if err := report.Table2Sections(&text, req.Apps, sections); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	case KindAutofix:
 		rows, err := autofix.TableWith(eng, req.Scale)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if doc.JSON, err = json.Marshal(rows); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if err := report.AutofixTable(&text, rows); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	default:
-		return nil, fmt.Errorf("serve: unknown kind %q", req.Kind)
+		return nil, false, fmt.Errorf("serve: unknown kind %q", req.Kind)
 	}
 	doc.Text = text.String()
-	return json.MarshalIndent(&doc, "", "  ")
+	data, err = json.MarshalIndent(&doc, "", "  ")
+	return data, persist, err
 }
 
 // decodeResult parses a job's stored result document.

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"diogenes/internal/ffm"
+)
+
+// TestServedFleetJob is the fleet acceptance scenario at the serving
+// layer: a fleet job runs every rank's pipeline, its document carries the
+// cross-rank aggregation, and an identical resubmission is answered from
+// the persistent store without re-running anything.
+func TestServedFleetJob(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 4, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const body = `{"kind":"fleet","app":"amg","ranks":2,"scale":0.02}`
+	code, v1, _, _ := postJob(t, ts, body)
+	if code != 202 {
+		t.Fatalf("fleet submit: status %d", code)
+	}
+	if v1.Ranks != 2 {
+		t.Fatalf("view ranks = %d, want 2", v1.Ranks)
+	}
+	done := waitState(t, ts, v1.ID)
+	if done.Status != StateDone || done.FromStore {
+		t.Fatalf("fleet job: %+v", done)
+	}
+
+	var fr ffm.FleetReport
+	payload := getReport(t, ts, v1.ID, "json")
+	if err := json.Unmarshal(payload, &fr); err != nil {
+		t.Fatalf("decode fleet payload: %v", err)
+	}
+	if fr.App != "amg" || fr.Ranks != 2 || fr.Partial {
+		t.Fatalf("fleet report header: %+v", fr)
+	}
+	if len(fr.Duplicates) == 0 {
+		t.Fatal("served fleet report found no cross-rank duplicate transfers")
+	}
+	text := getReport(t, ts, v1.ID, "text")
+	if !bytes.Contains(text, []byte("Diogenes Fleet Analysis")) ||
+		!bytes.Contains(text, []byte("Cross-rank duplicate transfers")) {
+		t.Fatalf("text rendering missing fleet sections:\n%s", text)
+	}
+
+	// The complete (non-partial) document persisted: the identical
+	// request is a store hit and runs nothing.
+	code, v2, _, _ := postJob(t, ts, body)
+	if code != 200 {
+		t.Fatalf("repeat fleet submit: status %d, want 200 (served from store)", code)
+	}
+	if !v2.FromStore || v2.Status != StateDone {
+		t.Fatalf("repeat fleet job not served from store: %+v", v2)
+	}
+	if v2.SpansTotal != 0 {
+		t.Fatalf("store-served fleet job recorded %d spans", v2.SpansTotal)
+	}
+	if !bytes.Equal(payload, getReport(t, ts, v2.ID, "json")) {
+		t.Fatal("stored fleet document differs from the computed one")
+	}
+
+	// A different world size is a different content address — it must
+	// miss the store and run.
+	code, v3, _, _ := postJob(t, ts, `{"kind":"fleet","app":"amg","ranks":3,"scale":0.02}`)
+	if code != 202 {
+		t.Fatalf("3-rank fleet submit: status %d, want 202 (store miss)", code)
+	}
+	if v := waitState(t, ts, v3.ID); v.Status != StateDone || v.FromStore {
+		t.Fatalf("3-rank fleet job: %+v", v)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // maxRequestBody bounds a submission document; analysis requests are a
@@ -49,11 +50,39 @@ type errorBody struct {
 	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
 }
 
-// retryAfterSeconds renders the configured backoff hint, at least 1.
+// maxRetryAfterSeconds caps the backoff hint — past a few minutes a
+// bigger number only makes clients give up, not back off better.
+const maxRetryAfterSeconds = 300
+
+// retryAfterSeconds renders the backoff hint for 429/503 responses,
+// derived from how long the current backlog will actually take to drain:
+// queue depth times the observed mean job duration, divided across the
+// worker set. Before any job has completed it falls back to the
+// configured constant. The result is clamped to [1, maxRetryAfterSeconds]
+// — in particular it is never 0, which RFC 9110 permits but which turns a
+// backoff hint into an immediate-retry invitation.
 func (s *Server) retryAfterSeconds() int {
-	secs := int((s.opts.RetryAfter + 999999999) / 1000000000)
+	return retryAfterHint(s.queue.Depth(), s.queue.Workers(), s.meanJobNanos(), s.opts.RetryAfter)
+}
+
+// retryAfterHint is the pure computation behind retryAfterSeconds.
+// meanNanos 0 (no history yet) selects the fallback duration.
+func retryAfterHint(depth, workers int, meanNanos int64, fallback time.Duration) int {
+	if workers < 1 {
+		workers = 1
+	}
+	est := fallback
+	if meanNanos > 0 {
+		// depth+1 accounts for the request being turned away: the queue
+		// must drain one slot before a retry can be accepted.
+		est = time.Duration(depth+1) * time.Duration(meanNanos) / time.Duration(workers)
+	}
+	secs := int((est + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
 	}
 	return secs
 }

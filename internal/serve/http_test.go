@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		name      string
+		depth     int
+		workers   int
+		meanNanos int64
+		fallback  time.Duration
+		want      int
+	}{
+		// The regression: a short mean job time on an empty queue must
+		// not round down to Retry-After: 0 (an immediate-retry
+		// invitation, not a backoff).
+		{"sub-second estimate clamps to 1", 0, 4, int64(time.Microsecond), time.Second, 1},
+		{"zero fallback clamps to 1", 0, 1, 0, 0, 1},
+		// depth+1 slots at 2s each through one worker.
+		{"derives from depth and mean", 10, 1, int64(2 * time.Second), time.Second, 22},
+		// The same backlog drains 4× faster across 4 workers.
+		{"divides across workers", 10, 4, int64(2 * time.Second), time.Second, 6},
+		{"caps at maxRetryAfterSeconds", 1000, 1, int64(time.Minute), time.Second, maxRetryAfterSeconds},
+		// No history yet: the configured constant wins.
+		{"falls back before first job", 5, 2, 0, 3 * time.Second, 3},
+		{"zero workers treated as one", 1, 0, int64(time.Second), time.Second, 2},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.depth, c.workers, c.meanNanos, c.fallback); got != c.want {
+			t.Errorf("%s: retryAfterHint(%d, %d, %d, %v) = %d, want %d",
+				c.name, c.depth, c.workers, c.meanNanos, c.fallback, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterAdaptsToObservedJobTime(t *testing.T) {
+	s, err := New(Options{Workers: 2, QueueCapacity: 4, RetryAfter: 7 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any job completes the configured fallback is the hint.
+	if got := s.retryAfterSeconds(); got != 7 {
+		t.Fatalf("fallback hint = %d, want 7", got)
+	}
+	// One observed 4s job on an empty queue: one slot through two
+	// workers ≈ 2s.
+	s.noteJobDuration(4 * time.Second)
+	if got := s.retryAfterSeconds(); got != 2 {
+		t.Fatalf("derived hint = %d, want 2", got)
+	}
+	// An instantaneous job must still never yield 0.
+	s2, err := New(Options{Workers: 2, QueueCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.noteJobDuration(time.Microsecond)
+	if got := s2.retryAfterSeconds(); got < 1 {
+		t.Fatalf("hint = %d, must be at least 1", got)
+	}
+}
+
+func TestFleetJobValidation(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, c := range []struct {
+		name, body string
+	}{
+		{"missing app", `{"kind":"fleet"}`},
+		{"unknown app", `{"kind":"fleet","app":"nope"}`},
+		{"single-process app", `{"kind":"fleet","app":"cumf_als"}`},
+		{"negative ranks", `{"kind":"fleet","app":"amg","ranks":-1}`},
+		{"oversized world", `{"kind":"fleet","app":"amg","ranks":65}`},
+		{"apps list", `{"kind":"fleet","app":"amg","apps":["amg"]}`},
+		{"ranks on run kind", `{"kind":"run","app":"amg","ranks":4}`},
+	} {
+		if code, _, _, raw := postJob(t, ts, c.body); code != 400 {
+			t.Errorf("%s: status %d, want 400\n%s", c.name, code, raw)
+		}
+	}
+}

@@ -14,19 +14,28 @@ import (
 // exposes as subcommands.
 const (
 	KindRun     = "run"     // full FFM pipeline on one application
+	KindFleet   = "fleet"   // all-ranks FFM with cross-rank aggregation
 	KindTable1  = "table1"  // estimated vs actual benefit, all applications
 	KindTable2  = "table2"  // profiler comparison for selected applications
 	KindAutofix = "autofix" // automatic-correction verification table
 )
 
+// maxFleetRanks bounds a fleet request's world size — a fleet job runs one
+// full pipeline per rank, so this caps a single submission's cost.
+const maxFleetRanks = 64
+
 // Request is one analysis submission.
 type Request struct {
-	// Kind selects the experiment: run, table1, table2 or autofix.
+	// Kind selects the experiment: run, fleet, table1, table2 or autofix.
 	Kind string `json:"kind"`
-	// App names the application for kind "run" (see `diogenes list`).
+	// App names the application for kinds "run" and "fleet" (see
+	// `diogenes list`).
 	App string `json:"app,omitempty"`
 	// Apps selects applications for kind "table2"; empty means all.
 	Apps []string `json:"apps,omitempty"`
+	// Ranks is the world size for kind "fleet"; 0 selects the
+	// application's default.
+	Ranks int `json:"ranks,omitempty"`
 	// Scale is the workload scale; 0 selects 0.25, the CLI default.
 	Scale float64 `json:"scale,omitempty"`
 	// Workers is the per-job experiment engine width; 0 selects the
@@ -53,6 +62,26 @@ func (r *Request) normalize() error {
 		if len(r.Apps) > 0 {
 			return fmt.Errorf("kind %q takes \"app\", not \"apps\"", r.Kind)
 		}
+	case KindFleet:
+		if r.App == "" {
+			return fmt.Errorf("kind %q requires \"app\"", r.Kind)
+		}
+		spec, err := apps.ByName(r.App)
+		if err != nil {
+			return err
+		}
+		if spec.MPI == nil {
+			return fmt.Errorf("kind %q needs an MPI-modelled application; %s is single-process", r.Kind, r.App)
+		}
+		if len(r.Apps) > 0 {
+			return fmt.Errorf("kind %q takes \"app\", not \"apps\"", r.Kind)
+		}
+		if r.Ranks < 0 {
+			return fmt.Errorf("ranks %d cannot be negative", r.Ranks)
+		}
+		if r.Ranks > maxFleetRanks {
+			return fmt.Errorf("ranks %d exceeds the per-job limit %d", r.Ranks, maxFleetRanks)
+		}
 	case KindTable2:
 		if r.App != "" {
 			return fmt.Errorf("kind %q takes \"apps\", not \"app\"", r.Kind)
@@ -72,9 +101,12 @@ func (r *Request) normalize() error {
 			return fmt.Errorf("kind %q runs every application; it takes no \"app\"/\"apps\"", r.Kind)
 		}
 	case "":
-		return fmt.Errorf("\"kind\" is required (run, table1, table2 or autofix)")
+		return fmt.Errorf("\"kind\" is required (run, fleet, table1, table2 or autofix)")
 	default:
-		return fmt.Errorf("unknown kind %q (want run, table1, table2 or autofix)", r.Kind)
+		return fmt.Errorf("unknown kind %q (want run, fleet, table1, table2 or autofix)", r.Kind)
+	}
+	if r.Kind != KindFleet && r.Ranks != 0 {
+		return fmt.Errorf("kind %q takes no \"ranks\"", r.Kind)
 	}
 	if r.Scale == 0 {
 		r.Scale = 0.25
@@ -230,6 +262,7 @@ type View struct {
 	Kind    string   `json:"kind"`
 	App     string   `json:"app,omitempty"`
 	Apps    []string `json:"apps,omitempty"`
+	Ranks   int      `json:"ranks,omitempty"`
 	Scale   float64  `json:"scale"`
 	Workers int      `json:"workers,omitempty"`
 
@@ -257,6 +290,7 @@ func (j *Job) View() View {
 		Kind:    j.Req.Kind,
 		App:     j.Req.App,
 		Apps:    j.Req.Apps,
+		Ranks:   j.Req.Ranks,
 		Scale:   j.Req.Scale,
 		Workers: j.Req.Workers,
 

@@ -50,8 +50,10 @@ type Options struct {
 	// DefaultTimeout caps each job's execution when the request carries no
 	// timeout of its own; 0 means no cap.
 	DefaultTimeout time.Duration
-	// RetryAfter is the backoff hint sent with 429/503 responses; 0
-	// selects one second.
+	// RetryAfter is the fallback backoff hint sent with 429/503 responses
+	// before any job has completed; once the server has observed job
+	// durations the hint is derived from the live queue depth and the
+	// mean job time instead. 0 selects one second.
 	RetryAfter time.Duration
 	// StoreDir, when non-empty, enables the persistent report store in
 	// that directory (created if absent).
@@ -94,6 +96,12 @@ type Server struct {
 	mux   *http.ServeMux
 
 	accepting atomic.Bool
+
+	// Completed-execution wall time, feeding the Retry-After hint: the
+	// mean job duration scales the backoff with how long the backlog
+	// actually takes to drain.
+	jobNanos atomic.Int64
+	jobCount atomic.Int64
 
 	mSubmitted   *obs.Counter
 	mRejected    *obs.Counter
@@ -210,6 +218,26 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	return j, nil
 }
 
+// noteJobDuration records one completed job execution for the
+// Retry-After hint.
+func (s *Server) noteJobDuration(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.jobNanos.Add(int64(d))
+	s.jobCount.Add(1)
+}
+
+// meanJobNanos returns the observed mean job execution time, 0 before any
+// job has completed.
+func (s *Server) meanJobNanos() int64 {
+	n := s.jobCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return s.jobNanos.Load() / n
+}
+
 // Job returns a job by ID, or nil.
 func (s *Server) Job(id string) *Job { return s.jobs.get(id) }
 
@@ -285,6 +313,8 @@ func (s *Server) keyFor(eng *experiments.Engine, req Request) (string, bool) {
 	switch req.Kind {
 	case KindRun:
 		return eng.SuiteKey(KindRun, req.Scale, []string{req.App})
+	case KindFleet:
+		return eng.FleetSuiteKey(req.App, req.Scale, req.Ranks)
 	case KindTable1:
 		return eng.SuiteKey(KindTable1, req.Scale, nil)
 	case KindTable2:

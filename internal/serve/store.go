@@ -33,8 +33,16 @@ type DiskStore struct {
 	budget int64
 
 	// mu serializes this instance's eviction scans; Get/Put themselves
-	// rely on filesystem atomicity.
+	// rely on filesystem atomicity. It also guards the access ledger.
 	mu sync.Mutex
+	// accessSeq and access order this instance's uses monotonically.
+	// Filesystem mtimes carry recency across processes but have bounded
+	// resolution: two entries touched within one timestamp tick compare
+	// equal, and sorting on mtime alone would evict an arbitrary one of
+	// them. The in-memory stamp breaks those ties deterministically in
+	// true use order (entries this instance never touched rank oldest).
+	accessSeq uint64
+	access    map[string]uint64
 
 	hits      *obs.Counter
 	misses    *obs.Counter
@@ -54,7 +62,7 @@ func OpenDiskStore(dir string, budget int64) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: open store: %w", err)
 	}
-	return &DiskStore{dir: dir, budget: budget}, nil
+	return &DiskStore{dir: dir, budget: budget, access: make(map[string]uint64)}, nil
 }
 
 // SetMetrics mirrors store traffic to a registry: store/hits,
@@ -108,8 +116,17 @@ func (d *DiskStore) Get(key string) ([]byte, error) {
 	}
 	now := time.Now()
 	_ = os.Chtimes(p, now, now) // best-effort recency bump
+	d.noteAccess(p)
 	d.hits.Inc()
 	return b, nil
+}
+
+// noteAccess stamps one use of the entry at path.
+func (d *DiskStore) noteAccess(path string) {
+	d.mu.Lock()
+	d.accessSeq++
+	d.access[path] = d.accessSeq
+	d.mu.Unlock()
 }
 
 // Put stores val under key atomically (temp file + rename), then enforces
@@ -136,6 +153,7 @@ func (d *DiskStore) Put(key string, val []byte) error {
 		return fmt.Errorf("serve: store put: %w", err)
 	}
 	d.puts.Inc()
+	d.noteAccess(p)
 	d.enforceBudget(p)
 	return nil
 }
@@ -175,7 +193,20 @@ func (d *DiskStore) enforceBudget(keep string) {
 		total += info.Size()
 	}
 	if d.budget > 0 {
-		sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+		// Oldest mtime first; entries sharing an mtime tick (the
+		// filesystem's timestamp resolution is bounded) order by this
+		// instance's monotonic access stamp, then by path so the victim
+		// is deterministic even for entries never accessed here.
+		sort.Slice(entries, func(i, j int) bool {
+			ei, ej := entries[i], entries[j]
+			if !ei.mtime.Equal(ej.mtime) {
+				return ei.mtime.Before(ej.mtime)
+			}
+			if d.access[ei.path] != d.access[ej.path] {
+				return d.access[ei.path] < d.access[ej.path]
+			}
+			return ei.path < ej.path
+		})
 		for _, e := range entries {
 			if total <= d.budget {
 				break
@@ -188,6 +219,7 @@ func (d *DiskStore) enforceBudget(keep string) {
 			if err := os.Remove(e.path); err == nil || errors.Is(err, fs.ErrNotExist) {
 				total -= e.size
 				d.evictions.Inc()
+				delete(d.access, e.path)
 			}
 		}
 	}

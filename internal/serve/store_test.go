@@ -119,6 +119,82 @@ func TestDiskStoreEvictsLRU(t *testing.T) {
 	}
 }
 
+func TestDiskStoreEvictionDeterministicOnSharedMtime(t *testing.T) {
+	// Filesystem mtime resolution is bounded: two entries touched within
+	// one timestamp tick compare equal, and an mtime-only sort would pick
+	// an arbitrary victim. Force that tie with Chtimes and assert the
+	// in-memory access stamps break it in true use order.
+	dir := t.TempDir()
+	d, err := OpenDiskStore(dir, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 100)
+	if err := d.Put(hexKey(0), val); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(hexKey(1), val); err != nil {
+		t.Fatal(err)
+	}
+	// Key 0 is now the more recently used entry — but collapse both
+	// mtimes onto one tick so the filesystem cannot tell.
+	if _, err := d.Get(hexKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	tick := time.Now().Add(-time.Minute)
+	for _, i := range []int{0, 1} {
+		if err := os.Chtimes(filepath.Join(dir, hexKey(i)+storeExt), tick, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Put(hexKey(2), val); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(hexKey(1)); !errors.Is(err, experiments.ErrNotFound) {
+		t.Fatalf("least recently used tied entry survived: %v", err)
+	}
+	if _, err := d.Get(hexKey(0)); err != nil {
+		t.Fatalf("recently used tied entry evicted: %v", err)
+	}
+}
+
+func TestDiskStoreEvictionDeterministicForUntouchedEntries(t *testing.T) {
+	// A fresh instance has no access history for entries written by a
+	// previous process. With their mtimes tied, the victim must still be
+	// deterministic: lowest path.
+	dir := t.TempDir()
+	writer, err := OpenDiskStore(dir, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 100)
+	if err := writer.Put(hexKey(0), val); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Put(hexKey(1), val); err != nil {
+		t.Fatal(err)
+	}
+	tick := time.Now().Add(-time.Minute)
+	for _, i := range []int{0, 1} {
+		if err := os.Chtimes(filepath.Join(dir, hexKey(i)+storeExt), tick, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := OpenDiskStore(dir, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(hexKey(2), val); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(hexKey(0)); !errors.Is(err, experiments.ErrNotFound) {
+		t.Fatalf("lowest-path tied entry survived: %v", err)
+	}
+	if _, err := d.Get(hexKey(1)); err != nil {
+		t.Fatalf("wrong tied entry evicted: %v", err)
+	}
+}
+
 func TestDiskStoreNeverEvictsJustWritten(t *testing.T) {
 	// A single oversized entry stays — the budget is soft by one document.
 	d, err := OpenDiskStore(t.TempDir(), 10)
