@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"diogenes/internal/mpi"
@@ -102,6 +103,23 @@ func Must(name string) Spec {
 		panic(err)
 	}
 	return s
+}
+
+// FactoryFor returns the registered machine configuration for an
+// application name as it appears in a captured trace. MPI rank suffixes
+// ("amg@rank0/2") are stripped before the lookup. ok is false for names
+// with no registered spec (generative families, external traces) — replay
+// then runs on the default machine, which is what produced those traces.
+func FactoryFor(name string) (proc.Factory, bool) {
+	if i := strings.IndexByte(name, '@'); i >= 0 {
+		name = name[:i]
+	}
+	for _, s := range registry {
+		if s.Name == name {
+			return s.Factory(), true
+		}
+	}
+	return proc.Factory{}, false
 }
 
 // ByName looks up an application spec.

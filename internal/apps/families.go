@@ -1,0 +1,433 @@
+// Generative workload families: seeded scenario generators that bias the
+// driver-call vocabulary the way real GPU workload classes do, so the
+// property harness (internal/experiments) can check FFM's invariants on
+// thousands of programs nobody hand-modelled.
+//
+// Each family follows the proc.App determinism contract — the same seed
+// always produces the identical call sequence — and builds over an explicit
+// process factory so autofix validation and MPI worlds can re-instantiate
+// it on patched processes.
+package apps
+
+import (
+	"fmt"
+
+	"diogenes/internal/cuda"
+	"diogenes/internal/gpu"
+	"diogenes/internal/memory"
+	"diogenes/internal/mpi"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// Family is one seeded generative workload class.
+type Family struct {
+	Name        string
+	Description string
+	// New builds the deterministic scenario for (seed, steps). The factory
+	// configures any additional processes the scenario spawns (MPI ranks);
+	// single-process families ignore it.
+	New func(seed uint64, steps int, f proc.Factory) proc.App
+}
+
+var families = []Family{
+	{
+		Name:        "ml-train",
+		Description: "training loop: repeated minibatch uploads, fwd/bwd kernels, per-step sync",
+		New: func(seed uint64, steps int, f proc.Factory) proc.App {
+			return &mlTrainApp{seed: seed, steps: steps}
+		},
+	},
+	{
+		Name:        "thrust-churn",
+		Description: "Thrust-style allocator churn: temp alloc, memset, kernel, implicit-sync free",
+		New: func(seed uint64, steps int, f proc.Factory) proc.App {
+			return &thrustChurnApp{seed: seed, steps: steps}
+		},
+	},
+	{
+		Name:        "multi-stream",
+		Description: "pipelined async copies and kernels over several streams",
+		New: func(seed uint64, steps int, f proc.Factory) proc.App {
+			return &multiStreamApp{seed: seed, steps: steps}
+		},
+	},
+	{
+		Name:        "mpi-imbalanced",
+		Description: "two-rank MPI world with rank-skewed kernel times and per-step collectives",
+		New: func(seed uint64, steps int, f proc.Factory) proc.App {
+			prog := &imbalancedProgram{seed: seed, steps: steps}
+			return mpi.App(prog, mpi.Config{
+				Ranks:          2,
+				BarrierLatency: 25 * simtime.Microsecond,
+				Factory:        f,
+			}, 0)
+		},
+	},
+	{
+		Name:        "sync-heavy",
+		Description: "short kernels fenced by device- and thread-wide synchronizations",
+		New: func(seed uint64, steps int, f proc.Factory) proc.App {
+			return &syncHeavyApp{seed: seed, steps: steps}
+		},
+	},
+	{
+		Name:        "random",
+		Description: "uniform draw over the full call vocabulary (the original generator)",
+		New: func(seed uint64, steps int, f proc.Factory) proc.App {
+			return NewRandomApp(seed, steps)
+		},
+	},
+}
+
+// Families returns every generative family, in stable order.
+func Families() []Family {
+	out := make([]Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// FamilyByName looks up a generative family.
+func FamilyByName(name string) (Family, error) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("apps: unknown family %q (have %s)", name, familyNames())
+}
+
+func familyNames() string {
+	s := ""
+	for i, f := range families {
+		if i > 0 {
+			s += ", "
+		}
+		s += f.Name
+	}
+	return s
+}
+
+// mlTrainApp models the minibatch training loop the GPGPU-Sim ML-workload
+// study found dominating real streams: the same batches are re-uploaded
+// every epoch (duplicate transfers), two kernels run back to back, and the
+// step ends on a device-wide synchronization; every few steps the loss is
+// read back and immediately consumed.
+type mlTrainApp struct {
+	seed  uint64
+	steps int
+}
+
+func (a *mlTrainApp) Name() string { return fmt.Sprintf("ml-train-%d", a.seed) }
+
+func (a *mlTrainApp) Run(p *proc.Process) error {
+	rng := simtime.NewRNG(a.seed)
+	const batchBytes = 64 << 10
+	const nBatches = 4
+	batches := make([]*memory.Region, nBatches)
+	for i := range batches {
+		batches[i] = p.Host.Alloc(batchBytes, fmt.Sprintf("batch %d", i))
+		payload := make([]byte, batchBytes)
+		simtime.NewRNG(a.seed*101 + uint64(i)).Bytes(payload)
+		if err := p.Host.Poke(batches[i].Base(), payload); err != nil {
+			return err
+		}
+	}
+	loss := p.Host.Alloc(4<<10, "loss")
+	dev, err := p.Ctx.Malloc(batchBytes, "minibatch")
+	if err != nil {
+		return err
+	}
+	devLoss, err := p.Ctx.Malloc(4<<10, "dev loss")
+	if err != nil {
+		return err
+	}
+
+	var runErr error
+	for s := 0; s < a.steps && runErr == nil; s++ {
+		batch := s % nBatches // epochs revisit identical content
+		p.In("train_step", "train.py", 40, func() {
+			p.At(41)
+			if runErr = p.Ctx.MemcpyH2D(dev.Base(), batches[batch].Base(), batchBytes); runErr != nil {
+				return
+			}
+			if _, runErr = p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name:     "forward",
+				Duration: simtime.Duration(300+rng.Intn(500)) * simtime.Microsecond,
+				Stream:   gpu.LegacyStream,
+			}); runErr != nil {
+				return
+			}
+			if _, runErr = p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name:     "backward",
+				Duration: simtime.Duration(400+rng.Intn(700)) * simtime.Microsecond,
+				Stream:   gpu.LegacyStream,
+			}); runErr != nil {
+				return
+			}
+			p.At(44)
+			p.Ctx.DeviceSynchronize()
+			if s%5 == 4 {
+				p.At(46)
+				if runErr = p.Ctx.MemcpyD2H(loss.Base(), devLoss.Base(), 256); runErr != nil {
+					return
+				}
+				_, runErr = p.Read(loss.Base(), 16, 47)
+			}
+		})
+	}
+	p.In("train_shutdown", "train.py", 90, func() {
+		p.Ctx.DeviceSynchronize()
+	})
+	return runErr
+}
+
+// thrustChurnApp models Thrust-style temporary-storage churn: every
+// algorithm invocation allocates scratch, memsets it, runs a kernel and
+// frees the scratch — and cudaFree synchronizes the whole device
+// implicitly, the pattern behind the paper's cuIBM finding.
+type thrustChurnApp struct {
+	seed  uint64
+	steps int
+}
+
+func (a *thrustChurnApp) Name() string { return fmt.Sprintf("thrust-churn-%d", a.seed) }
+
+func (a *thrustChurnApp) Run(p *proc.Process) error {
+	rng := simtime.NewRNG(a.seed)
+	out := p.Host.Alloc(8<<10, "reduction out")
+	devOut, err := p.Ctx.Malloc(8<<10, "dev reduction")
+	if err != nil {
+		return err
+	}
+
+	var runErr error
+	for s := 0; s < a.steps && runErr == nil; s++ {
+		p.In("thrust_transform", "churn.cu", 60, func() {
+			size := (16 + rng.Intn(48)) << 10
+			var temp *gpu.DevBuf
+			if temp, runErr = p.Ctx.Malloc(size, "thrust temp"); runErr != nil {
+				return
+			}
+			p.At(62)
+			if runErr = p.Ctx.MemsetDev(temp.Base(), 0, size); runErr != nil {
+				return
+			}
+			if _, runErr = p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name:     "transform_reduce",
+				Duration: simtime.Duration(100+rng.Intn(400)) * simtime.Microsecond,
+				Stream:   gpu.LegacyStream,
+			}); runErr != nil {
+				return
+			}
+			p.CPUWork(simtime.Duration(20+rng.Intn(80)) * simtime.Microsecond)
+			p.At(65)
+			runErr = p.Ctx.Free(temp)
+		})
+		if runErr == nil && rng.Intn(6) == 0 {
+			p.In("thrust_readback", "churn.cu", 70, func() {
+				p.At(71)
+				runErr = p.Ctx.MemcpyD2H(out.Base(), devOut.Base(), 1024)
+			})
+		}
+	}
+	p.In("churn_shutdown", "churn.cu", 95, func() {
+		p.Ctx.DeviceSynchronize()
+	})
+	return runErr
+}
+
+// multiStreamApp models a well-pipelined solver: uploads and kernels ride
+// several streams concurrently, readbacks land in pinned memory, and only
+// occasional stream or device synchronizations fence the pipeline.
+type multiStreamApp struct {
+	seed  uint64
+	steps int
+}
+
+func (a *multiStreamApp) Name() string { return fmt.Sprintf("multi-stream-%d", a.seed) }
+
+func (a *multiStreamApp) Run(p *proc.Process) error {
+	rng := simtime.NewRNG(a.seed)
+	const chunkBytes = 32 << 10
+	const nStreams = 3
+	src := p.Host.Alloc(chunkBytes, "chunk src")
+	payload := make([]byte, chunkBytes)
+	simtime.NewRNG(a.seed * 977).Bytes(payload)
+	if err := p.Host.Poke(src.Base(), payload); err != nil {
+		return err
+	}
+	pinned := p.Ctx.MallocHost(8<<10, "pinned results")
+	streams := make([]gpu.StreamID, nStreams)
+	devs := make([]*gpu.DevBuf, nStreams)
+	for i := range streams {
+		streams[i] = p.Ctx.StreamCreate()
+		var err error
+		if devs[i], err = p.Ctx.Malloc(chunkBytes, fmt.Sprintf("chunk %d", i)); err != nil {
+			return err
+		}
+	}
+
+	var runErr error
+	for s := 0; s < a.steps && runErr == nil; s++ {
+		i := s % nStreams
+		p.In("pipeline_stage", "streams.cu", 80, func() {
+			p.At(81)
+			if runErr = p.Ctx.MemcpyAsyncH2D(devs[i].Base(), src.Base(), chunkBytes, streams[i]); runErr != nil {
+				return
+			}
+			if _, runErr = p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name:     "stage_kernel",
+				Duration: simtime.Duration(200+rng.Intn(600)) * simtime.Microsecond,
+				Stream:   streams[i],
+			}); runErr != nil {
+				return
+			}
+			if rng.Intn(4) == 0 {
+				p.At(85)
+				if runErr = p.Ctx.MemcpyAsyncD2H(pinned.Base(), devs[i].Base(), 4096, streams[i]); runErr != nil {
+					return
+				}
+			}
+			if rng.Intn(3) == 0 {
+				p.At(87)
+				p.Ctx.StreamSynchronize(streams[rng.Intn(nStreams)])
+			}
+			if rng.Intn(8) == 0 {
+				p.At(89)
+				p.Ctx.DeviceSynchronize()
+			}
+		})
+	}
+	p.In("pipeline_drain", "streams.cu", 95, func() {
+		p.Ctx.DeviceSynchronize()
+	})
+	return runErr
+}
+
+// imbalancedProgram is a two-rank MPI rank program whose kernel times are
+// skewed by rank: the fast rank arrives at every collective early and
+// absorbs the skew as barrier wait, the imbalance pattern fleet analysis
+// exists to expose.
+type imbalancedProgram struct {
+	seed  uint64
+	steps int
+}
+
+func (a *imbalancedProgram) Name() string { return fmt.Sprintf("mpi-imbalanced-%d", a.seed) }
+
+// Steps implements mpi.RankProgram.
+func (a *imbalancedProgram) Steps() int { return a.steps }
+
+type imbalancedState struct {
+	src *memory.Region
+	out *memory.Region
+	dev *gpu.DevBuf
+}
+
+// Setup implements mpi.RankProgram.
+func (a *imbalancedProgram) Setup(p *proc.Process, rank int) (mpi.RankState, error) {
+	st := &imbalancedState{}
+	const haloBytes = 16 << 10
+	st.src = p.Host.Alloc(haloBytes, "halo src")
+	payload := make([]byte, haloBytes)
+	simtime.NewRNG(a.seed*313 + uint64(rank)).Bytes(payload)
+	if err := p.Host.Poke(st.src.Base(), payload); err != nil {
+		return nil, err
+	}
+	st.out = p.Host.Alloc(4<<10, "halo out")
+	var err error
+	if st.dev, err = p.Ctx.Malloc(haloBytes, "dev halo"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Step implements mpi.RankProgram: deterministic per (rank, step).
+func (a *imbalancedProgram) Step(p *proc.Process, rank int, state mpi.RankState, step int) error {
+	st := state.(*imbalancedState)
+	rng := simtime.NewRNG(a.seed ^ uint64(rank)<<32 ^ uint64(step)*0x9e3779b9)
+	var err error
+	p.In("exchange_halo", "halo.c", 120, func() {
+		p.At(121)
+		if err = p.Ctx.MemcpyH2D(st.dev.Base(), st.src.Base(), st.src.Size()); err != nil {
+			return
+		}
+		// The skew: rank 1's smoother runs ~2x longer than rank 0's.
+		dur := simtime.Duration(500+900*rank+rng.Intn(300)) * simtime.Microsecond
+		if _, err = p.Ctx.LaunchKernel(cuda.KernelSpec{
+			Name:     "smooth",
+			Duration: dur,
+			Stream:   gpu.LegacyStream,
+		}); err != nil {
+			return
+		}
+		p.At(125)
+		p.Ctx.DeviceSynchronize()
+		if step%4 == 3 {
+			p.At(127)
+			if err = p.Ctx.MemcpyD2H(st.out.Base(), st.dev.Base(), 2048); err != nil {
+				return
+			}
+			_, err = p.Read(st.out.Base(), 16, 128)
+		}
+	})
+	return err
+}
+
+// syncHeavyApp models over-fenced code: every short kernel is bracketed by
+// a device-wide (sometimes the deprecated thread-wide) synchronization, so
+// nearly all wall time is synchronization wait.
+type syncHeavyApp struct {
+	seed  uint64
+	steps int
+}
+
+func (a *syncHeavyApp) Name() string { return fmt.Sprintf("sync-heavy-%d", a.seed) }
+
+func (a *syncHeavyApp) Run(p *proc.Process) error {
+	rng := simtime.NewRNG(a.seed)
+	out := p.Host.Alloc(4<<10, "residual")
+	dev, err := p.Ctx.Malloc(16<<10, "dev state")
+	if err != nil {
+		return err
+	}
+
+	var runErr error
+	for s := 0; s < a.steps && runErr == nil; s++ {
+		p.In("solver_iteration", "sync.cu", 100, func() {
+			if _, runErr = p.Ctx.LaunchKernel(cuda.KernelSpec{
+				Name:     "relax",
+				Duration: simtime.Duration(50+rng.Intn(150)) * simtime.Microsecond,
+				Stream:   gpu.LegacyStream,
+			}); runErr != nil {
+				return
+			}
+			p.At(102)
+			p.Ctx.DeviceSynchronize()
+			if rng.Intn(2) == 0 {
+				if _, runErr = p.Ctx.LaunchKernel(cuda.KernelSpec{
+					Name:     "residual",
+					Duration: simtime.Duration(40+rng.Intn(100)) * simtime.Microsecond,
+					Stream:   gpu.LegacyStream,
+				}); runErr != nil {
+					return
+				}
+				p.At(105)
+				p.Ctx.ThreadSynchronize()
+			}
+			if rng.Intn(5) == 0 {
+				p.At(107)
+				if runErr = p.Ctx.MemcpyD2H(out.Base(), dev.Base(), 512); runErr != nil {
+					return
+				}
+				_, runErr = p.Read(out.Base(), 16, 108)
+			}
+			p.CPUWork(simtime.Duration(10+rng.Intn(40)) * simtime.Microsecond)
+		})
+	}
+	p.In("solver_shutdown", "sync.cu", 130, func() {
+		p.Ctx.DeviceSynchronize()
+	})
+	return runErr
+}

@@ -1,0 +1,51 @@
+package apps_test
+
+import (
+	"testing"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/proc"
+)
+
+// TestFamiliesDeterministic runs every generative family twice with the
+// same seed on a bare process and asserts the call streams are identical —
+// the contract the property harness and all FFM stages depend on.
+func TestFamiliesDeterministic(t *testing.T) {
+	for _, fam := range apps.Families() {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() (string, int64, int) {
+				f := proc.DefaultFactory()
+				p := f.New()
+				app := fam.New(7, 12, f)
+				if err := proc.SafeRun(app, p); err != nil {
+					t.Fatalf("family run: %v", err)
+				}
+				return app.Name(), int64(p.ExecTime()), int(p.Ctx.TotalCalls())
+			}
+			name1, t1, n1 := run()
+			name2, t2, n2 := run()
+			if name1 != name2 || t1 != t2 || n1 != n2 {
+				t.Fatalf("family not deterministic: (%s %d %d) vs (%s %d %d)",
+					name1, t1, n1, name2, t2, n2)
+			}
+			if n1 == 0 {
+				t.Fatalf("family produced no driver calls")
+			}
+		})
+	}
+}
+
+// TestFamilyByName covers the registry lookup and its error path.
+func TestFamilyByName(t *testing.T) {
+	for _, fam := range apps.Families() {
+		got, err := apps.FamilyByName(fam.Name)
+		if err != nil || got.Name != fam.Name {
+			t.Fatalf("FamilyByName(%q) = %v, %v", fam.Name, got.Name, err)
+		}
+	}
+	if _, err := apps.FamilyByName("no-such-family"); err == nil {
+		t.Fatal("expected error for unknown family")
+	}
+}

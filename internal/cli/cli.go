@@ -114,6 +114,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = RunCmd(stdout, eng, rest)
 	case "analyze":
 		err = Analyze(stdout, rest)
+	case "replay":
+		err = Replay(stdout, eng, rest)
 	case "table1":
 		err = Table1(stdout, eng, rest)
 	case "table2":
@@ -208,9 +210,13 @@ global flags (before the command):
   -version                  print the build's version and exit
 
 commands:
-  list                      list the modelled applications
+  list                      list the modelled applications and families
   run <app> [flags]         run the 5-stage FFM pipeline and show findings
       -scale f              workload scale (default 0.25)
+      -family name          run a generative workload family instead of a
+                            modelled app (see 'diogenes list')
+      -seed n               family seed (default 1, with -family)
+      -steps n              family length (default 80, with -family)
       -json file            export the analysis as JSON
       -trace file           export the pipeline span trace (Chrome JSON)
       -records file         export the annotated trace (stage-4 records)
@@ -218,6 +224,11 @@ commands:
       -md file              export a Markdown findings report
       -sub from:to          refine the top sequence to entries [from,to]
   analyze <trace.json>      run stage 5 on a previously exported records file
+  replay <trace.json>       re-drive the full pipeline from a captured trace;
+                            the replayed analysis reproduces the original's
+                            byte for byte
+      -trace file           trace file (alternative to the positional)
+      -json file            export the replayed analysis as JSON
   fleet [app] [flags]       run the pipeline on every rank of an MPI app's
                             world and aggregate the findings across ranks
       -app name             application name (alternative to the positional)
@@ -249,10 +260,15 @@ commands:
 `)
 }
 
-// List prints the modelled applications.
+// List prints the modelled applications and the generative families.
 func List(w io.Writer) error {
+	fmt.Fprintln(w, "modelled applications:")
 	for _, spec := range apps.Registry() {
-		fmt.Fprintf(w, "%-18s %s\n", spec.Name, spec.Description)
+		fmt.Fprintf(w, "  %-18s %s\n", spec.Name, spec.Description)
+	}
+	fmt.Fprintln(w, "\ngenerative families (run -family <name> -seed n):")
+	for _, fam := range apps.Families() {
+		fmt.Fprintf(w, "  %-18s %s\n", fam.Name, fam.Description)
 	}
 	return nil
 }
@@ -278,6 +294,9 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 	name, args := takeName(args)
 	fs := newFlagSet("run")
 	scale := fs.Float64("scale", 0.25, "workload scale")
+	family := fs.String("family", "", "run a generative family instead of a modelled app")
+	seed := fs.Uint64("seed", 1, "generative family seed (with -family)")
+	steps := fs.Int("steps", 80, "generative family length (with -family)")
 	jsonPath := fs.String("json", "", "export analysis JSON to file")
 	tracePath := fs.String("trace", "", "export the pipeline span trace (Chrome JSON) to file")
 	recordsPath := fs.String("records", "", "export annotated trace records JSON to file")
@@ -287,8 +306,11 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if name == "" {
-		return fmt.Errorf("run: application name expected (see 'diogenes list')")
+	if name != "" && *family != "" {
+		return fmt.Errorf("run: give an application name or -family, not both")
+	}
+	if name == "" && *family == "" {
+		return fmt.Errorf("run: application name or -family expected (see 'diogenes list')")
 	}
 	if eng.Obs == nil {
 		// Direct callers (tests) may pass a bare engine; -trace and the
@@ -296,7 +318,20 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 		eng.SetObserver(obs.New("diogenes"))
 	}
 
-	rep, err := eng.RunApp(name, *scale)
+	var rep *ffm.Report
+	var err error
+	if *family != "" {
+		fam, ferr := apps.FamilyByName(*family)
+		if ferr != nil {
+			return ferr
+		}
+		cfg := ffm.DefaultConfig()
+		cfg.Workers = eng.StageWorkers
+		cfg.Obs = eng.Obs
+		rep, err = ffm.Run(fam.New(*seed, *steps, cfg.Factory), cfg)
+	} else {
+		rep, err = eng.RunApp(name, *scale)
+	}
 	if err != nil {
 		return err
 	}
@@ -420,6 +455,78 @@ func Analyze(w io.Writer, args []string) error {
 	}
 	fmt.Fprintln(w)
 	return report.Savings(w, a)
+}
+
+// Replay re-runs the full measurement pipeline on a previously captured
+// trace (a `diogenes run -records` export): the trace is turned back into
+// an executable application whose analysis reproduces the original's byte
+// for byte. Unlike `analyze`, which re-runs only stage 5 on the recorded
+// annotations, replay re-drives every collection stage.
+func Replay(w io.Writer, eng *experiments.Engine, args []string) error {
+	path, args := takeName(args)
+	fs := newFlagSet("replay")
+	traceFlag := fs.String("trace", "", "captured trace file (alternative to the positional argument)")
+	jsonPath := fs.String("json", "", "export the replayed analysis as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" {
+		path = *traceFlag
+	}
+	if path == "" {
+		return fmt.Errorf("replay: trace file expected (capture one with 'diogenes run <app> -records file.json')")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	run, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	if eng.Obs == nil {
+		eng.SetObserver(obs.New("diogenes"))
+	}
+	cfg := ffm.DefaultConfig()
+	cfg.Workers = eng.StageWorkers
+	cfg.Obs = eng.Obs
+	// Byte-identical reproduction needs the machine configuration the
+	// trace was captured on; registered applications carry theirs.
+	if f, ok := apps.FactoryFor(run.App); ok {
+		cfg.Factory = f
+	}
+	rep, err := ffm.Run(apps.NewReplayApp(run), cfg)
+	if err != nil {
+		return err
+	}
+	a := rep.Analysis
+	if err := report.Overview(w, a); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := report.Savings(w, a); err != nil {
+		return err
+	}
+	if seqs := a.StaticSequences(); len(seqs) > 0 {
+		fmt.Fprintln(w)
+		if err := report.Sequence(w, a, seqs[0]); err != nil {
+			return err
+		}
+	}
+	if folds := a.APIFolds(); len(folds) > 0 {
+		fmt.Fprintln(w)
+		if err := report.ExpandFold(w, a, folds[0]); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, a.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nanalysis exported to %s\n", *jsonPath)
+	}
+	return nil
 }
 
 // Table1 regenerates Table 1.

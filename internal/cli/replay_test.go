@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReplayCommandReproducesRun captures a trace with `run -records` and
+// replays it: the replayed overview must name the same application and
+// report the same headline numbers the original run printed.
+func TestReplayCommandReproducesRun(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "records.json")
+
+	code, runOut, errOut := runMain(t, "run", "rodinia_gaussian", "-scale", "0.05", "-records", tracePath)
+	if code != 0 {
+		t.Fatalf("run exit = %d, stderr = %q", code, errOut)
+	}
+	code, replayOut, errOut := runMain(t, "replay", tracePath)
+	if code != 0 {
+		t.Fatalf("replay exit = %d, stderr = %q", code, errOut)
+	}
+	if !strings.Contains(replayOut, "rodinia_gaussian") {
+		t.Fatalf("replay lost the application name:\n%s", replayOut)
+	}
+	// The overview section must be identical line for line.
+	runLines := strings.Split(runOut, "\n")
+	replayLines := strings.Split(replayOut, "\n")
+	for i, line := range runLines {
+		if strings.HasPrefix(line, "Diogenes Overview Display") {
+			for j := 0; ; j++ {
+				if runLines[i+j] == "" {
+					break
+				}
+				if i+j >= len(replayLines) || runLines[i+j] != replayLines[i+j] {
+					t.Fatalf("overview diverged at line %d:\nrun:    %q\nreplay: %q",
+						i+j, runLines[i+j], replayLines[i+j])
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("no overview section in run output")
+}
+
+// TestReplayCommandErrors covers the replay argument and file error paths.
+func TestReplayCommandErrors(t *testing.T) {
+	if code, _, errOut := runMain(t, "replay"); code != 1 || !strings.Contains(errOut, "trace file expected") {
+		t.Fatalf("bare replay: code=%d stderr=%q", code, errOut)
+	}
+	if code, _, _ := runMain(t, "replay", "/nonexistent/trace.json"); code != 1 {
+		t.Fatalf("missing file accepted: code=%d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runMain(t, "replay", bad); code != 1 {
+		t.Fatalf("bad trace accepted: code=%d", code)
+	}
+}
+
+// TestRunFamilyFlag runs a generative family through the CLI.
+func TestRunFamilyFlag(t *testing.T) {
+	code, out, errOut := runMain(t, "run", "-family", "sync-heavy", "-seed", "3", "-steps", "10")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errOut)
+	}
+	if !strings.Contains(out, "sync-heavy-3") {
+		t.Fatalf("family app name missing from output:\n%s", out)
+	}
+	if code, _, errOut := runMain(t, "run", "amg", "-family", "sync-heavy"); code != 1 ||
+		!strings.Contains(errOut, "not both") {
+		t.Fatalf("name+family accepted: code=%d stderr=%q", code, errOut)
+	}
+	if code, _, errOut := runMain(t, "run", "-family", "no-such"); code != 1 ||
+		!strings.Contains(errOut, "unknown family") {
+		t.Fatalf("unknown family: code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestListShowsFamilies pins the family section of `diogenes list`.
+func TestListShowsFamilies(t *testing.T) {
+	code, out, _ := runMain(t, "list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"ml-train", "thrust-churn", "multi-stream", "mpi-imbalanced", "sync-heavy", "random"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list missing family %s", name)
+		}
+	}
+}

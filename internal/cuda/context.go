@@ -300,6 +300,19 @@ func (c *Context) DetachAllProbes() {
 // ProbeCount returns the number of attached probes.
 func (c *Context) ProbeCount() int { return len(c.probes) }
 
+// ProbeOverheadOf returns the summed per-event overhead of the probes
+// attached to fn — the virtual time one entry (or exit) firing of fn's
+// probes charges. Trace replay uses it to place synchronization waits on
+// the application's own timeline regardless of which collection stage is
+// currently instrumenting the process.
+func (c *Context) ProbeOverheadOf(fn Func) simtime.Duration {
+	var total simtime.Duration
+	for _, ap := range c.byFunc[fn] {
+		total += ap.p.Overhead
+	}
+	return total
+}
+
 func (c *Context) rebuildProbeIndex() {
 	c.byFunc = make(map[Func][]*attachedProbe)
 	for i := range c.probes {

@@ -8,9 +8,12 @@ import (
 	"fmt"
 	"time"
 
+	"diogenes/internal/apps"
 	"diogenes/internal/autofix"
 	"diogenes/internal/experiments"
+	"diogenes/internal/ffm"
 	"diogenes/internal/report"
+	"diogenes/internal/trace"
 )
 
 // ResultDoc is a completed job's persisted document: the machine-readable
@@ -122,6 +125,41 @@ func (s *Server) runJob(eng *experiments.Engine, req Request) (data []byte, pers
 		if err := report.WriteMarkdown(&text, rep); err != nil {
 			return nil, false, err
 		}
+	case KindReplay:
+		raw := []byte(req.Trace)
+		if req.TraceKey != "" {
+			stored, err := s.traceFromStore(req.TraceKey)
+			if err != nil {
+				return nil, false, err
+			}
+			raw = stored
+		}
+		run, err := trace.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			return nil, false, fmt.Errorf("serve: replay trace: %w", err)
+		}
+		cfg := ffm.DefaultConfig()
+		cfg.Workers = eng.StageWorkers
+		cfg.Obs = eng.Obs
+		// Byte-identical reproduction needs the machine configuration the
+		// trace was captured on; registered applications carry theirs.
+		if f, ok := apps.FactoryFor(run.App); ok {
+			cfg.Factory = f
+		}
+		rep, err := ffm.Run(apps.NewReplayApp(run), cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		doc.App = rep.App
+		persist = false // replay results are request-shaped, not cacheable
+		var payload bytes.Buffer
+		if err := rep.WriteJSON(&payload); err != nil {
+			return nil, false, err
+		}
+		doc.JSON = payload.Bytes()
+		if err := report.WriteMarkdown(&text, rep); err != nil {
+			return nil, false, err
+		}
 	case KindFleet:
 		fr, err := eng.Fleet(req.App, req.Scale, req.Ranks)
 		if err != nil {
@@ -175,6 +213,30 @@ func (s *Server) runJob(eng *experiments.Engine, req Request) (data []byte, pers
 	doc.Text = text.String()
 	data, err = json.MarshalIndent(&doc, "", "  ")
 	return data, persist, err
+}
+
+// traceFromStore extracts the annotated trace from a previously stored
+// "run" result document, so a replay request can address a capture by its
+// store key instead of inlining megabytes of records.
+func (s *Server) traceFromStore(key string) ([]byte, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("serve: \"traceKey\" needs a persistent store (-store)")
+	}
+	data, err := s.store.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("serve: traceKey %q: %w", key, err)
+	}
+	doc, err := decodeResult(data)
+	if err != nil {
+		return nil, err
+	}
+	var payload struct {
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal(doc.JSON, &payload); err != nil || len(payload.Trace) == 0 {
+		return nil, fmt.Errorf("serve: stored document %q carries no trace (only \"run\" results do)", key)
+	}
+	return payload.Trace, nil
 }
 
 // decodeResult parses a job's stored result document.

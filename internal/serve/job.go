@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 // exposes as subcommands.
 const (
 	KindRun     = "run"     // full FFM pipeline on one application
+	KindReplay  = "replay"  // full FFM pipeline re-driven from a captured trace
 	KindFleet   = "fleet"   // all-ranks FFM with cross-rank aggregation
 	KindTable1  = "table1"  // estimated vs actual benefit, all applications
 	KindTable2  = "table2"  // profiler comparison for selected applications
@@ -26,13 +28,20 @@ const maxFleetRanks = 64
 
 // Request is one analysis submission.
 type Request struct {
-	// Kind selects the experiment: run, fleet, table1, table2 or autofix.
+	// Kind selects the experiment: run, replay, fleet, table1, table2 or
+	// autofix.
 	Kind string `json:"kind"`
 	// App names the application for kinds "run" and "fleet" (see
 	// `diogenes list`).
 	App string `json:"app,omitempty"`
 	// Apps selects applications for kind "table2"; empty means all.
 	Apps []string `json:"apps,omitempty"`
+	// Trace is an inline captured trace document (a `diogenes run
+	// -records` export) for kind "replay".
+	Trace json.RawMessage `json:"trace,omitempty"`
+	// TraceKey addresses the trace of a previously stored "run" result
+	// document for kind "replay" (alternative to inlining it).
+	TraceKey string `json:"traceKey,omitempty"`
 	// Ranks is the world size for kind "fleet"; 0 selects the
 	// application's default.
 	Ranks int `json:"ranks,omitempty"`
@@ -96,19 +105,35 @@ func (r *Request) normalize() error {
 				return err
 			}
 		}
+	case KindReplay:
+		if len(r.Trace) == 0 && r.TraceKey == "" {
+			return fmt.Errorf("kind %q requires \"trace\" or \"traceKey\"", r.Kind)
+		}
+		if len(r.Trace) > 0 && r.TraceKey != "" {
+			return fmt.Errorf("kind %q takes \"trace\" or \"traceKey\", not both", r.Kind)
+		}
+		if r.App != "" || len(r.Apps) > 0 {
+			return fmt.Errorf("kind %q replays a captured trace; it takes no \"app\"/\"apps\"", r.Kind)
+		}
+		if r.Scale != 0 {
+			return fmt.Errorf("kind %q takes no \"scale\"; the trace fixes the workload", r.Kind)
+		}
 	case KindTable1, KindAutofix:
 		if r.App != "" || len(r.Apps) > 0 {
 			return fmt.Errorf("kind %q runs every application; it takes no \"app\"/\"apps\"", r.Kind)
 		}
 	case "":
-		return fmt.Errorf("\"kind\" is required (run, fleet, table1, table2 or autofix)")
+		return fmt.Errorf("\"kind\" is required (run, replay, fleet, table1, table2 or autofix)")
 	default:
-		return fmt.Errorf("unknown kind %q (want run, fleet, table1, table2 or autofix)", r.Kind)
+		return fmt.Errorf("unknown kind %q (want run, replay, fleet, table1, table2 or autofix)", r.Kind)
+	}
+	if r.Kind != KindReplay && (len(r.Trace) > 0 || r.TraceKey != "") {
+		return fmt.Errorf("kind %q takes no \"trace\"/\"traceKey\"", r.Kind)
 	}
 	if r.Kind != KindFleet && r.Ranks != 0 {
 		return fmt.Errorf("kind %q takes no \"ranks\"", r.Kind)
 	}
-	if r.Scale == 0 {
+	if r.Scale == 0 && r.Kind != KindReplay {
 		r.Scale = 0.25
 	}
 	if r.Scale < 0 {

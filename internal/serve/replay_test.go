@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// runDocParts pulls the trace and analysis out of a stored/served "run"
+// result document's report JSON.
+func runDocParts(t *testing.T, reportJSON []byte) (trace, analysis json.RawMessage) {
+	t.Helper()
+	var payload struct {
+		Trace    json.RawMessage `json:"trace"`
+		Analysis json.RawMessage `json:"analysis"`
+	}
+	if err := json.Unmarshal(reportJSON, &payload); err != nil {
+		t.Fatalf("decode run report: %v", err)
+	}
+	if len(payload.Trace) == 0 || len(payload.Analysis) == 0 {
+		t.Fatal("run report carries no trace/analysis")
+	}
+	return payload.Trace, payload.Analysis
+}
+
+// TestReplayJobReproducesRunAnalysis is the service-level fidelity claim:
+// a replay job — trace inlined or addressed by the run's store key —
+// produces an analysis byte-identical to the original run's.
+func TestReplayJobReproducesRunAnalysis(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 4, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, run, _, _ := postJob(t, ts, `{"kind":"run","app":"cuibm","scale":0.05}`)
+	if code != 202 {
+		t.Fatalf("run submit: status %d", code)
+	}
+	runView := waitState(t, ts, run.ID)
+	if runView.Status != StateDone {
+		t.Fatalf("run job: %+v", runView)
+	}
+	traceRaw, wantAnalysis := runDocParts(t, getReport(t, ts, run.ID, "json"))
+
+	// Inline trace.
+	body, err := json.Marshal(map[string]any{"kind": "replay", "trace": json.RawMessage(traceRaw)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, inline, _, raw := postJob(t, ts, string(body))
+	if code != 202 {
+		t.Fatalf("inline replay submit: status %d: %s", code, raw)
+	}
+	if v := waitState(t, ts, inline.ID); v.Status != StateDone {
+		t.Fatalf("inline replay job: %+v", v)
+	}
+	_, gotInline := runDocParts(t, getReport(t, ts, inline.ID, "json"))
+	if !bytes.Equal(wantAnalysis, gotInline) {
+		t.Fatalf("inline replay analysis differs from the run's (%d vs %d bytes)",
+			len(wantAnalysis), len(gotInline))
+	}
+
+	// Store-addressed trace, via the run job's own store key.
+	if runView.StoreKey == "" {
+		t.Fatal("run job has no store key")
+	}
+	code, keyed, _, raw := postJob(t, ts,
+		fmt.Sprintf(`{"kind":"replay","traceKey":%q}`, runView.StoreKey))
+	if code != 202 {
+		t.Fatalf("keyed replay submit: status %d: %s", code, raw)
+	}
+	if v := waitState(t, ts, keyed.ID); v.Status != StateDone {
+		t.Fatalf("keyed replay job: %+v", v)
+	}
+	_, gotKeyed := runDocParts(t, getReport(t, ts, keyed.ID, "json"))
+	if !bytes.Equal(wantAnalysis, gotKeyed) {
+		t.Fatal("store-addressed replay analysis differs from the run's")
+	}
+}
+
+// TestReplayJobValidation covers the replay request error paths.
+func TestReplayJobValidation(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"kind":"replay"}`,
+		`{"kind":"replay","trace":{"app":"x"},"traceKey":"k"}`,
+		`{"kind":"replay","trace":{"app":"x"},"app":"cuibm"}`,
+		`{"kind":"replay","trace":{"app":"x"},"scale":0.5}`,
+		`{"kind":"run","app":"cuibm","traceKey":"k"}`,
+	} {
+		if code, _, _, raw := postJob(t, ts, body); code != 400 {
+			t.Errorf("body %s: status %d (%s), want 400", body, code, raw)
+		}
+	}
+
+	// A structurally invalid trace passes normalization but fails the job.
+	code, v, _, _ := postJob(t, ts, `{"kind":"replay","trace":{"app":"x","format":99}}`)
+	if code != 202 {
+		t.Fatalf("bad-trace submit: status %d", code)
+	}
+	if done := waitState(t, ts, v.ID); done.Status != StateFailed {
+		t.Fatalf("bad trace job = %+v, want failed", done)
+	}
+
+	// traceKey without a store fails the job, not the server.
+	code, v, _, _ = postJob(t, ts, `{"kind":"replay","traceKey":"nope"}`)
+	if code != 202 {
+		t.Fatalf("no-store submit: status %d", code)
+	}
+	if done := waitState(t, ts, v.ID); done.Status != StateFailed {
+		t.Fatalf("no-store job = %+v, want failed", done)
+	}
+}

@@ -56,6 +56,23 @@ func FuzzRunRoundTrip(f *testing.F) {
 		app = strings.ToValidUTF8(app, "\uFFFD")
 		fn = strings.ToValidUTF8(fn, "\uFFFD")
 		hash = strings.ToValidUTF8(hash, "\uFFFD")
+		// The strict reader rejects structurally invalid runs, so clamp the
+		// fuzzed fields into the domain the collection stages actually emit:
+		// non-negative counters and timestamps, exit not before entry. (The
+		// bitwise complement maps negatives \u2014 including MinInt64, which
+		// ordinary negation overflows on \u2014 to non-negative values.)
+		clamp := func(v int64) int64 {
+			if v < 0 {
+				return ^v
+			}
+			return v
+		}
+		stage = int(clamp(int64(stage)) % 6)
+		execTime, calls = clamp(execTime), clamp(calls)
+		entry, exit = clamp(entry), clamp(exit)
+		if exit < entry {
+			entry, exit = exit, entry
+		}
 		run := &Run{
 			App:        app,
 			Stage:      stage,

@@ -133,7 +133,10 @@ func (r *Run) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON parses a run written by WriteJSON. Files stamped with a newer
-// schema version are rejected rather than misread.
+// schema version are rejected rather than misread, and structurally invalid
+// documents (negative sizes or timestamps, unknown record kinds, duplicate
+// sequence numbers) are rejected with a *ValidationError instead of being
+// handed to consumers that would panic on them.
 func ReadJSON(rd io.Reader) (*Run, error) {
 	var run Run
 	if err := json.NewDecoder(rd).Decode(&run); err != nil {
@@ -142,7 +145,80 @@ func ReadJSON(rd io.Reader) (*Run, error) {
 	if run.Format > FormatVersion {
 		return nil, fmt.Errorf("trace: file format %d newer than supported %d", run.Format, FormatVersion)
 	}
+	if err := run.Validate(); err != nil {
+		return nil, err
+	}
 	return &run, nil
+}
+
+// ValidationError describes why a trace document was rejected: the offending
+// record's sequence number (0 for run-level fields), the field, and the
+// reason.
+type ValidationError struct {
+	Seq    int64
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if e.Seq != 0 {
+		return fmt.Sprintf("trace: record %d: %s %s", e.Seq, e.Field, e.Reason)
+	}
+	return fmt.Sprintf("trace: %s %s", e.Field, e.Reason)
+}
+
+// Validate checks the structural invariants every Run written by the
+// collection stages satisfies: non-negative durations and timestamps,
+// exits not preceding entries, known record classes, and positive, unique
+// sequence numbers. Consumers that re-drive the simulator from a trace
+// (replay) depend on these holding.
+func (r *Run) Validate() error {
+	if r.ExecTime < 0 {
+		return &ValidationError{Field: "execTime", Reason: "is negative"}
+	}
+	if r.RawExecTime < 0 {
+		return &ValidationError{Field: "rawExecTime", Reason: "is negative"}
+	}
+	if r.TotalCalls < 0 {
+		return &ValidationError{Field: "totalCalls", Reason: "is negative"}
+	}
+	seen := make(map[int64]bool, len(r.Records))
+	for i := range r.Records {
+		rec := &r.Records[i]
+		if rec.Seq <= 0 {
+			return &ValidationError{Seq: rec.Seq, Field: "seq", Reason: "must be positive"}
+		}
+		if seen[rec.Seq] {
+			return &ValidationError{Seq: rec.Seq, Field: "seq", Reason: "is duplicated"}
+		}
+		seen[rec.Seq] = true
+		if rec.Class != ClassSync && rec.Class != ClassTransfer {
+			return &ValidationError{Seq: rec.Seq, Field: "class", Reason: fmt.Sprintf("%q is not a known record kind", rec.Class)}
+		}
+		if rec.Entry < 0 {
+			return &ValidationError{Seq: rec.Seq, Field: "entry", Reason: "is negative"}
+		}
+		if rec.Exit < 0 {
+			return &ValidationError{Seq: rec.Seq, Field: "exit", Reason: "is negative"}
+		}
+		if rec.Exit < rec.Entry {
+			return &ValidationError{Seq: rec.Seq, Field: "exit", Reason: "precedes entry"}
+		}
+		if rec.SyncWait < 0 {
+			return &ValidationError{Seq: rec.Seq, Field: "syncWait", Reason: "is negative"}
+		}
+		if rec.FirstUse < 0 {
+			return &ValidationError{Seq: rec.Seq, Field: "firstUse", Reason: "is negative"}
+		}
+		if rec.Bytes < 0 {
+			return &ValidationError{Seq: rec.Seq, Field: "bytes", Reason: "is negative"}
+		}
+		if rec.HostSize < 0 {
+			return &ValidationError{Seq: rec.Seq, Field: "hostSize", Reason: "is negative"}
+		}
+	}
+	return nil
 }
 
 // OfClass returns the records of one class, preserving order.

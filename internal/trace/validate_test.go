@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReadJSONValidation drives every rejection path of the strict reader:
+// malformed documents must come back as typed *ValidationError values (so
+// callers can report the offending record and field) instead of flowing into
+// replay and panicking there.
+func TestReadJSONValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		doc    string
+		seq    int64
+		field  string
+		reason string
+	}{
+		{
+			name:  "negative execTime",
+			doc:   `{"app":"x","execTime":-1}`,
+			field: "execTime", reason: "negative",
+		},
+		{
+			name:  "negative rawExecTime",
+			doc:   `{"app":"x","rawExecTime":-5}`,
+			field: "rawExecTime", reason: "negative",
+		},
+		{
+			name:  "negative totalCalls",
+			doc:   `{"app":"x","totalCalls":-2}`,
+			field: "totalCalls", reason: "negative",
+		},
+		{
+			name: "zero seq",
+			doc:  `{"app":"x","records":[{"seq":0,"class":"sync"}]}`,
+			seq:  0, field: "seq", reason: "positive",
+		},
+		{
+			name: "negative seq",
+			doc:  `{"app":"x","records":[{"seq":-3,"class":"sync"}]}`,
+			seq:  -3, field: "seq", reason: "positive",
+		},
+		{
+			name: "duplicate seq",
+			doc: `{"app":"x","records":[
+				{"seq":1,"class":"sync"},
+				{"seq":1,"class":"sync"}]}`,
+			seq: 1, field: "seq", reason: "duplicated",
+		},
+		{
+			name: "unknown record kind",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"kernel"}]}`,
+			seq:  1, field: "class", reason: "not a known record kind",
+		},
+		{
+			name: "missing record kind",
+			doc:  `{"app":"x","records":[{"seq":1}]}`,
+			seq:  1, field: "class", reason: "not a known record kind",
+		},
+		{
+			name: "negative entry",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"sync","entry":-7}]}`,
+			seq:  1, field: "entry", reason: "negative",
+		},
+		{
+			name: "negative exit",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"sync","entry":0,"exit":-7}]}`,
+			seq:  1, field: "exit", reason: "negative",
+		},
+		{
+			name: "exit before entry",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"sync","entry":100,"exit":50}]}`,
+			seq:  1, field: "exit", reason: "precedes entry",
+		},
+		{
+			name: "negative syncWait",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"sync","syncWait":-1}]}`,
+			seq:  1, field: "syncWait", reason: "negative",
+		},
+		{
+			name: "negative firstUse",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"sync","firstUse":-9}]}`,
+			seq:  1, field: "firstUse", reason: "negative",
+		},
+		{
+			name: "negative bytes",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"transfer","bytes":-4}]}`,
+			seq:  1, field: "bytes", reason: "negative",
+		},
+		{
+			name: "negative hostSize",
+			doc:  `{"app":"x","records":[{"seq":1,"class":"transfer","hostSize":-4}]}`,
+			seq:  1, field: "hostSize", reason: "negative",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("document accepted: %s", tc.doc)
+			}
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("error is not a *ValidationError: %v", err)
+			}
+			if verr.Seq != tc.seq || verr.Field != tc.field {
+				t.Fatalf("wrong error location: got seq=%d field=%q, want seq=%d field=%q (%v)",
+					verr.Seq, verr.Field, tc.seq, tc.field, err)
+			}
+			if !strings.Contains(verr.Reason, tc.reason) {
+				t.Fatalf("reason %q does not mention %q", verr.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestReadJSONValidAccepted pins the accept side: an empty run and a
+// well-formed record pass untouched.
+func TestReadJSONValidAccepted(t *testing.T) {
+	for _, doc := range []string{
+		`{}`,
+		`{"app":"x","records":[{"seq":1,"class":"sync","entry":10,"exit":20,"syncWait":5}]}`,
+		`{"app":"x","records":[{"seq":2,"class":"transfer","dir":"HtoD","bytes":4096}]}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(doc)); err != nil {
+			t.Fatalf("valid document rejected: %v\n%s", err, doc)
+		}
+	}
+}
