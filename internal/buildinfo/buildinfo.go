@@ -1,0 +1,53 @@
+// Package buildinfo renders the binary's identity line — module version,
+// Go toolchain, VCS stamp — shared by the CLI version command, the served
+// timeline, and the Chrome trace metadata. One renderer, one identity.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Version returns the build's identity line, e.g.
+// "diogenes devel go1.22.1 0123abcd4567". Memoized: debug.ReadBuildInfo
+// parses the binary's embedded module data on every call.
+var Version = sync.OnceValue(func() string {
+	return String(debug.ReadBuildInfo())
+})
+
+// String renders one identity line from build info; factored out so tests
+// can feed synthetic info.
+func String(info *debug.BuildInfo, ok bool) string {
+	if !ok || info == nil {
+		return "diogenes (no build info)"
+	}
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var parts []string
+	parts = append(parts, "diogenes "+ver)
+	if info.GoVersion != "" {
+		parts = append(parts, info.GoVersion)
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "+dirty"
+		}
+		parts = append(parts, rev)
+	}
+	return strings.Join(parts, " ")
+}

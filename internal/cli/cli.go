@@ -132,6 +132,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = Verify(stdout, eng, rest)
 	case "discover":
 		err = Discover(stdout)
+	case "timeline":
+		err = Timeline(stdout, rest)
 	case "obs":
 		err = Obs(stdout, rest)
 	case "serve":
@@ -218,6 +220,8 @@ commands:
       -seed n               family seed (default 1, with -family)
       -steps n              family length (default 80, with -family)
       -json file            export the analysis as JSON
+      -report file          export the complete report as JSON — the input
+                            the timeline explorer renders
       -trace file           export the pipeline span trace (Chrome JSON)
       -records file         export the annotated trace (stage-4 records)
       -timeline file        export a chrome://tracing timeline
@@ -243,6 +247,12 @@ commands:
   verify [-scale f]         apply automatic corrections to every app and
                             compare against the paper's manual fixes
   discover                  run the §3.1 sync-function identification test
+  timeline <doc.json>       render the served timeline explorer offline from
+                            a 'run -report', 'fleet -json' or 'run -records'
+                            export (kind sniffed from the document)
+      -o file               write the self-contained HTML here (default:
+                            stdout)
+      -model file           also export the raw timeline model JSON
   obs [flags]               pretty-print the last run's self-measurement
       -trace file           re-export its Chrome span trace
       -metrics file         re-export its metrics text
@@ -298,6 +308,7 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 	seed := fs.Uint64("seed", 1, "generative family seed (with -family)")
 	steps := fs.Int("steps", 80, "generative family length (with -family)")
 	jsonPath := fs.String("json", "", "export analysis JSON to file")
+	reportPath := fs.String("report", "", "export the complete report JSON (timeline-explorer input) to file")
 	tracePath := fs.String("trace", "", "export the pipeline span trace (Chrome JSON) to file")
 	recordsPath := fs.String("records", "", "export annotated trace records JSON to file")
 	timelinePath := fs.String("timeline", "", "export a chrome://tracing timeline to file")
@@ -389,6 +400,12 @@ func RunCmd(w io.Writer, eng *experiments.Engine, args []string) error {
 			return err
 		}
 		fmt.Fprintf(w, "\nanalysis exported to %s\n", *jsonPath)
+	}
+	if *reportPath != "" {
+		if err := writeFile(*reportPath, rep.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nreport exported to %s\n", *reportPath)
 	}
 	if *tracePath != "" {
 		if err := writeFile(*tracePath, eng.Obs.Trace().Chrome().Write); err != nil {

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"diogenes/internal/buildinfo"
 )
 
 // startServe runs the serve subcommand in the background with a
@@ -143,7 +145,7 @@ func TestVersionCommandAndFlag(t *testing.T) {
 }
 
 func TestVersionString(t *testing.T) {
-	if got := versionString(nil, false); got != "diogenes (no build info)" {
+	if got := buildinfo.String(nil, false); got != "diogenes (no build info)" {
 		t.Fatalf("no build info: %q", got)
 	}
 	info := &debug.BuildInfo{GoVersion: "go1.24.0"}
@@ -153,8 +155,8 @@ func TestVersionString(t *testing.T) {
 		{Key: "vcs.modified", Value: "true"},
 	}
 	want := "diogenes devel go1.24.0 0123456789ab+dirty"
-	if got := versionString(info, true); got != want {
-		t.Fatalf("versionString = %q, want %q", got, want)
+	if got := buildinfo.String(info, true); got != want {
+		t.Fatalf("buildinfo.String = %q, want %q", got, want)
 	}
 }
 

@@ -3,49 +3,13 @@ package cli
 import (
 	"fmt"
 	"io"
-	"runtime/debug"
-	"strings"
+
+	"diogenes/internal/buildinfo"
 )
 
 // Version prints the build's identity: module version, Go toolchain, and
 // the VCS stamp when the binary was built from a checkout.
 func Version(w io.Writer) error {
-	_, err := fmt.Fprintln(w, versionString(debug.ReadBuildInfo()))
+	_, err := fmt.Fprintln(w, buildinfo.Version())
 	return err
-}
-
-// versionString renders one identity line from build info; factored out so
-// tests can feed synthetic info.
-func versionString(info *debug.BuildInfo, ok bool) string {
-	if !ok || info == nil {
-		return "diogenes (no build info)"
-	}
-	ver := info.Main.Version
-	if ver == "" || ver == "(devel)" {
-		ver = "devel"
-	}
-	var parts []string
-	parts = append(parts, "diogenes "+ver)
-	if info.GoVersion != "" {
-		parts = append(parts, info.GoVersion)
-	}
-	var rev, modified string
-	for _, s := range info.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			modified = s.Value
-		}
-	}
-	if rev != "" {
-		if len(rev) > 12 {
-			rev = rev[:12]
-		}
-		if modified == "true" {
-			rev += "+dirty"
-		}
-		parts = append(parts, rev)
-	}
-	return strings.Join(parts, " ")
 }

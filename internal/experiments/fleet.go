@@ -198,15 +198,16 @@ func (e *Engine) fleetSkew(prog mpi.RankProgram, mcfg mpi.Config) (skew *ffm.Fle
 		sp.SetArg("failed", err.Error())
 		return nil
 	}
-	return convertSkew(w.Skew())
+	return convertSkew(w.Skew(), w.Ledger())
 }
 
 // convertSkew maps the mpi barrier ledger onto the ffm report form and
 // picks the dominant straggler (most charged wait; ties go to the lowest
-// rank).
-func convertSkew(ledger []mpi.RankSkew) *ffm.FleetSkew {
-	out := &ffm.FleetSkew{Straggler: -1, PerRank: make([]ffm.FleetSkewRank, len(ledger))}
-	for i, rs := range ledger {
+// rank). The per-barrier records ride along so the attribution can be
+// rendered collective by collective (the timeline's skew ribbons).
+func convertSkew(perRank []mpi.RankSkew, barriers []mpi.BarrierRecord) *ffm.FleetSkew {
+	out := &ffm.FleetSkew{Straggler: -1, PerRank: make([]ffm.FleetSkewRank, len(perRank))}
+	for i, rs := range perRank {
 		out.PerRank[i] = ffm.FleetSkewRank{
 			Rank: rs.Rank, Waited: rs.Waited, Charged: rs.Charged, Straggles: rs.Straggles,
 		}
@@ -214,6 +215,16 @@ func convertSkew(ledger []mpi.RankSkew) *ffm.FleetSkew {
 		if rs.Charged > 0 && (out.Straggler < 0 || rs.Charged > out.PerRank[out.Straggler].Charged) {
 			out.Straggler = rs.Rank
 		}
+	}
+	for _, b := range barriers {
+		out.Barriers = append(out.Barriers, ffm.FleetBarrier{
+			Index:     b.Index,
+			Arrive:    b.Arrive,
+			Latency:   b.Latency,
+			Straggler: b.Straggler,
+			Wait:      b.TotalWait,
+			RankWaits: b.RankWaits,
+		})
 	}
 	return out
 }

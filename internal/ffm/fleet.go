@@ -72,6 +72,27 @@ type FleetSkewRank struct {
 	Straggles int              `json:"straggles"`
 }
 
+// FleetBarrier is one skewed collective from the whole-world reference
+// run's barrier ledger: when it happened, which rank arrived last, and how
+// long every other rank stood waiting. Balanced barriers are not recorded,
+// so a perfectly balanced world serializes without a barriers field.
+type FleetBarrier struct {
+	// Index is the barrier's ordinal among all collectives executed
+	// (balanced ones included).
+	Index int `json:"index"`
+	// Arrive is the straggler's arrival — the moment the wait ended.
+	Arrive simtime.Time `json:"arrive"`
+	// Latency is the collective's own cost, paid by every rank after
+	// Arrive.
+	Latency simtime.Duration `json:"latency"`
+	// Straggler is the last-arriving rank charged this barrier's wait.
+	Straggler int `json:"straggler"`
+	// Wait is the total wait across all ranks at this barrier.
+	Wait simtime.Duration `json:"wait"`
+	// RankWaits is each rank's wait, indexed by rank.
+	RankWaits []simtime.Duration `json:"rankWaits"`
+}
+
 // FleetSkew is the whole-world collective-skew attribution: wait time is
 // charged to the straggler rank that caused it.
 type FleetSkew struct {
@@ -82,6 +103,10 @@ type FleetSkew struct {
 	// is perfectly balanced.
 	Straggler int             `json:"straggler"`
 	PerRank   []FleetSkewRank `json:"perRank"`
+	// Barriers is the per-collective ledger behind the per-rank totals:
+	// one entry per skewed barrier, in execution order. Empty in a
+	// balanced world.
+	Barriers []FleetBarrier `json:"barriers,omitempty"`
 }
 
 // FleetReport is the cluster-wide analysis: every rank's pipeline outcome

@@ -3,10 +3,12 @@ package ffm
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"diogenes/internal/gpu"
 	"diogenes/internal/simtime"
+	"diogenes/internal/trace"
 )
 
 // jsonReport is the serialized form of a full pipeline Report: every
@@ -73,4 +75,40 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&doc)
+}
+
+// ReadReportJSON parses a report document written by WriteJSON back into a
+// Report: the identity, stage times and overheads, baseline, annotated
+// trace (validated through the trace interchange reader) and device
+// operation log — everything a renderer needs to reconstruct the timeline
+// model. The stage-5 Analysis is not reconstructed (its in-memory form is
+// a graph, not a document); Analysis stays nil on the returned report.
+func ReadReportJSON(r io.Reader) (*Report, error) {
+	var doc jsonReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ffm: decoding report: %w", err)
+	}
+	rep := &Report{
+		App:                doc.App,
+		UninstrumentedTime: doc.UninstrumentedTime,
+		Stage1Time:         doc.Stage1Time,
+		Stage2Time:         doc.Stage2Time,
+		Stage3Time:         doc.Stage3Time,
+		Stage4Time:         doc.Stage4Time,
+		Stage1Overhead:     doc.Stage1Overhead,
+		Stage2Overhead:     doc.Stage2Overhead,
+		Stage3Overhead:     doc.Stage3Overhead,
+		Stage4Overhead:     doc.Stage4Overhead,
+		Baseline:           doc.Baseline,
+		DeviceOps:          doc.DeviceOps,
+	}
+	if len(doc.Trace) > 0 {
+		run, err := trace.ReadJSON(bytes.NewReader(doc.Trace))
+		if err != nil {
+			return nil, fmt.Errorf("ffm: report trace: %w", err)
+		}
+		rep.Trace = run
+	}
+	return rep, nil
 }

@@ -77,6 +77,27 @@ type RankSkew struct {
 	Straggles int `json:"straggles"`
 }
 
+// BarrierRecord is the per-barrier entry of the skew ledger: one skewed
+// collective, its straggler, and every rank's wait. Balanced barriers
+// (total wait zero) are not recorded — in a perfectly balanced world the
+// ledger stays empty no matter how many collectives execute.
+type BarrierRecord struct {
+	// Index is the barrier's ordinal among all executed collectives
+	// (including unrecorded balanced ones).
+	Index int
+	// Arrive is the straggler's arrival time — the moment the last rank
+	// reached the barrier and everyone's wait ended.
+	Arrive simtime.Time
+	// Latency is the collective's own cost, paid after Arrive.
+	Latency simtime.Duration
+	// Straggler is the last-arriving rank (ties toward the lowest rank).
+	Straggler int
+	// TotalWait is the sum of every rank's wait at this barrier.
+	TotalWait simtime.Duration
+	// RankWaits is each rank's wait, indexed by rank.
+	RankWaits []simtime.Duration
+}
+
 // World is one running multi-rank launch.
 type World struct {
 	cfg    Config
@@ -84,6 +105,7 @@ type World struct {
 	states []RankState
 	prog   RankProgram
 	skew   []RankSkew
+	ledger []BarrierRecord
 	// barriers counts executed collectives.
 	barriers int
 }
@@ -155,7 +177,9 @@ func (w *World) Skew() []RankSkew {
 // The skew ledger charges this barrier's total wait to the straggler — the
 // last-arriving rank (ties broken toward the lowest rank, keeping the
 // ledger deterministic). BarrierLatency is excluded: every rank pays it
-// even in a perfectly balanced world.
+// even in a perfectly balanced world. Skewed barriers additionally append
+// a BarrierRecord so the attribution can be replayed collective by
+// collective (Ledger).
 func (w *World) Barrier() {
 	var latest simtime.Time
 	straggler := 0
@@ -167,17 +191,36 @@ func (w *World) Barrier() {
 	}
 	target := latest.Add(w.cfg.BarrierLatency)
 	var total simtime.Duration
+	waits := make([]simtime.Duration, len(w.procs))
 	for r, p := range w.procs {
 		wait := latest.Sub(p.Clock.Now())
 		w.skew[r].Waited += wait
+		waits[r] = wait
 		total += wait
 		p.Clock.AdvanceTo(target)
 	}
 	if total > 0 {
 		w.skew[straggler].Charged += total
 		w.skew[straggler].Straggles++
+		w.ledger = append(w.ledger, BarrierRecord{
+			Index:     w.barriers,
+			Arrive:    latest,
+			Latency:   w.cfg.BarrierLatency,
+			Straggler: straggler,
+			TotalWait: total,
+			RankWaits: waits,
+		})
 	}
 	w.barriers++
+}
+
+// Ledger returns the per-barrier skew records accumulated so far: one entry
+// per skewed collective, in execution order. Balanced barriers leave no
+// record.
+func (w *World) Ledger() []BarrierRecord {
+	out := make([]BarrierRecord, len(w.ledger))
+	copy(out, w.ledger)
+	return out
 }
 
 // Run executes all supersteps with a collective after each.

@@ -1,16 +1,36 @@
 package obs
 
-import "net/http"
+import (
+	"net/http"
+	"strings"
+)
 
-// Handler returns an http.Handler serving the registry's deterministic
-// plain-text rendering — the export hook a long-lived daemon mounts at
-// /metrics. A nil registry serves the "no metrics recorded" placeholder,
-// so wiring is unconditional.
+// Handler returns an http.Handler serving the registry — the export hook a
+// long-lived daemon mounts at /metrics. The default rendering is the
+// registry's deterministic plain-text dump; a request that asks for
+// Prometheus exposition (?format=prom, or an Accept header naming
+// text/plain the way the Prometheus scraper does) gets WriteProm instead.
+// Browsers and bare curl send Accept: */* and keep the native dump. A nil
+// registry serves the "no metrics recorded" placeholder, so wiring is
+// unconditional.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsProm(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WriteProm(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = r.Write(w)
 	})
+}
+
+// wantsProm reports whether the request opted into Prometheus exposition.
+func wantsProm(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "text/plain")
 }
 
 // Progress summarizes the trace's span activity for a live status display:

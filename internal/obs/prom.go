@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm dumps the registry in the Prometheus text exposition format
+// (version 0.0.4): every counter, gauge and histogram, sorted by name, with
+// names mangled to the Prometheus alphabet under a "diogenes_" prefix
+// ("sched/jobqueue_depth" → "diogenes_sched_jobqueue_depth").
+//
+// Histograms expose the fixed base-2 log buckets as cumulative le series.
+// Observations are integers, so the half-open bucket [2^(i-1), 2^i) is
+// exactly the inclusive le bound 2^i−1, and bucket 0 (v ≤ 0) is le="0" —
+// the translation loses nothing. Empty buckets are elided (cumulative
+// counts make them redundant); the mandatory le="+Inf" series always
+// closes the set.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "# no metrics recorded")
+		return err
+	}
+	snap := r.Snapshot()
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := promName(name)
+		v := strconv.FormatFloat(snap.Gauges[name], 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, v); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		hs := snap.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i, n := range hs.Buckets {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			le := "0"
+			if i > 0 {
+				le = strconv.FormatInt(BucketHigh(i)-1, 10)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, hs.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, hs.Sum)
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName mangles a registry name into the Prometheus metric alphabet
+// [a-zA-Z0-9_] under the tool prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("diogenes_") + len(name))
+	b.WriteString("diogenes_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

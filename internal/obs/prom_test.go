@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cache/hits").Add(7)
+	r.Counter("cache/misses").Add(3)
+	r.Gauge("sched/jobqueue_depth").Set(2)
+	h := r.Histogram("serve/job_nanos")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5) // bucket 3: [4,8)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE diogenes_cache_hits counter",
+		"diogenes_cache_hits 7",
+		"diogenes_cache_misses 3",
+		"# TYPE diogenes_sched_jobqueue_depth gauge",
+		"diogenes_sched_jobqueue_depth 2",
+		"# TYPE diogenes_serve_job_nanos histogram",
+		"diogenes_serve_job_nanos_bucket{le=\"0\"} 1",
+		"diogenes_serve_job_nanos_bucket{le=\"1\"} 2",
+		"diogenes_serve_job_nanos_bucket{le=\"7\"} 3",
+		"diogenes_serve_job_nanos_bucket{le=\"+Inf\"} 3",
+		"diogenes_serve_job_nanos_sum 6",
+		"diogenes_serve_job_nanos_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every sample line must parse as name{labels} value with a mangled name.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		name, _, _ = strings.Cut(name, "{")
+		if !strings.HasPrefix(name, "diogenes_") || strings.ContainsAny(name, "/- ") {
+			t.Errorf("bad metric name %q in line %q", name, line)
+		}
+	}
+}
+
+func TestWritePromCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	// Cumulative counts must be non-decreasing down the le series.
+	var prev int64 = -1
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.Contains(line, "_bucket{") {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative: %d after %d in %q", n, prev, line)
+		}
+		prev = n
+	}
+	if prev != 100 {
+		t.Fatalf("final cumulative count = %d, want 100", prev)
+	}
+}
+
+func TestHandlerNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve/jobs_completed").Inc()
+	h := r.Handler()
+
+	// Default (curl, browsers): native dump.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "*/*")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if body := rec.Body.String(); !strings.Contains(body, "serve/jobs_completed") || strings.Contains(body, "diogenes_") {
+		t.Fatalf("default /metrics should stay the native dump, got:\n%s", body)
+	}
+
+	// ?format=prom opts in.
+	req = httptest.NewRequest("GET", "/metrics?format=prom", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if body := rec.Body.String(); !strings.Contains(body, "diogenes_serve_jobs_completed 1") {
+		t.Fatalf("?format=prom should serve exposition, got:\n%s", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("prom Content-Type = %q", ct)
+	}
+
+	// The Prometheus scraper's Accept names text/plain.
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if body := rec.Body.String(); !strings.Contains(body, "# TYPE diogenes_serve_jobs_completed counter") {
+		t.Fatalf("Accept: text/plain should serve exposition, got:\n%s", body)
+	}
+
+	// Nil registry stays nil-safe in both modes.
+	var nilReg *Registry
+	req = httptest.NewRequest("GET", "/metrics?format=prom", nil)
+	rec = httptest.NewRecorder()
+	nilReg.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("nil registry prom = %d", rec.Code)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"diogenes/internal/ffm"
+	"diogenes/internal/timeline"
 )
 
 // WriteMarkdown renders a complete findings document for one report —
@@ -56,13 +57,15 @@ func WriteMarkdown(w io.Writer, rep *ffm.Report) error {
 		seconds(st.ExecTime), seconds(st.GPUBusy), 100*st.GPUUtilization,
 		seconds(st.CPUBlocked), 100*st.BlockedShare)
 
+	// The timing table renders from the shared timeline model, the same
+	// stage ledger behind the terminal summary and the served web view.
+	m := timeline.FromReport("run", rep)
 	p("## Data collection cost\n\n")
 	p("| Stage | Run time |\n|---|---|\n")
-	p("| uninstrumented | %s |\n", seconds(rep.UninstrumentedTime))
-	p("| 1 — baseline | %s |\n", seconds(rep.Stage1Time))
-	p("| 2 — detailed tracing | %s |\n", seconds(rep.Stage2Time))
-	p("| 3 — memory tracing + hashing | %s |\n", seconds(rep.Stage3Time))
-	p("| 4 — sync-use analysis | %s |\n", seconds(rep.Stage4Time))
-	p("| **total** | **%s (%.1fx)** |\n", seconds(rep.CollectionCost()), rep.OverheadMultiple())
+	p("| uninstrumented | %s |\n", seconds(m.Reference))
+	for i, o := range m.Overlays {
+		p("| %d — %s | %s |\n", i+1, o.Detail, seconds(o.Time))
+	}
+	p("| **total** | **%s (%.1fx)** |\n", seconds(m.Collection()), m.OverheadMultiple())
 	return nil
 }

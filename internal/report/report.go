@@ -12,6 +12,7 @@ import (
 	"diogenes/internal/experiments"
 	"diogenes/internal/ffm"
 	"diogenes/internal/simtime"
+	"diogenes/internal/timeline"
 )
 
 func seconds(d simtime.Duration) string {
@@ -228,18 +229,26 @@ type PlanAction struct {
 	Count     int
 }
 
-// OverheadSummary writes the §5.3 data-collection cost summary for a report.
+// OverheadSummary writes the §5.3 data-collection cost summary for a
+// report. It renders through the shared timeline model, so the terminal
+// text, the Markdown document and the served timeline view all read the
+// same stage ledger.
 func OverheadSummary(w io.Writer, rep *ffm.Report) error {
-	if _, err := fmt.Fprintf(w, "Data collection cost — %s\n", rep.App); err != nil {
+	return OverheadFromModel(w, timeline.FromReport("run", rep))
+}
+
+// OverheadFromModel writes the §5.3 summary from a timeline model's
+// overlays — the text renderer of the shared timeline source of truth.
+func OverheadFromModel(w io.Writer, m *timeline.Model) error {
+	if _, err := fmt.Fprintf(w, "Data collection cost — %s\n", m.Meta.App); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "  uninstrumented execution: %s\n", seconds(rep.UninstrumentedTime))
-	fmt.Fprintf(w, "  stage 1 (baseline):       %s\n", seconds(rep.Stage1Time))
-	fmt.Fprintf(w, "  stage 2 (tracing):        %s\n", seconds(rep.Stage2Time))
-	fmt.Fprintf(w, "  stage 3 (memory/hash):    %s\n", seconds(rep.Stage3Time))
-	fmt.Fprintf(w, "  stage 4 (sync-use):       %s\n", seconds(rep.Stage4Time))
-	fmt.Fprintf(w, "  total collection:         %s (%.1fx)\n",
-		seconds(rep.CollectionCost()), rep.OverheadMultiple())
+	fmt.Fprintf(w, "  %-26s%s\n", "uninstrumented execution:", seconds(m.Reference))
+	for i, o := range m.Overlays {
+		fmt.Fprintf(w, "  %-26s%s\n", fmt.Sprintf("stage %d (%s):", i+1, o.Label), seconds(o.Time))
+	}
+	fmt.Fprintf(w, "  %-26s%s (%.1fx)\n", "total collection:",
+		seconds(m.Collection()), m.OverheadMultiple())
 	return nil
 }
 

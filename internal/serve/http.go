@@ -15,13 +15,17 @@ const maxRequestBody = 1 << 20
 
 // buildMux wires the API:
 //
-//	POST   /jobs             submit an analysis job
-//	GET    /jobs             list retained jobs
-//	GET    /jobs/{id}        job status + span-derived progress
-//	DELETE /jobs/{id}        cancel a job
-//	GET    /jobs/{id}/report completed report (?format=json|text)
-//	GET    /healthz          liveness + queue occupancy
-//	GET    /metrics          the server's obs registry, plain text
+//	POST   /jobs                    submit an analysis job
+//	GET    /jobs                    list retained jobs
+//	GET    /jobs/{id}               job status + span-derived progress
+//	DELETE /jobs/{id}               cancel a job
+//	GET    /jobs/{id}/report        completed report (?format=json|text)
+//	GET    /jobs/{id}/timeline      served timeline explorer (self-contained HTML)
+//	GET    /jobs/{id}/timeline.json the raw timeline model
+//	GET    /healthz                 liveness + queue occupancy
+//	GET    /metrics                 the server's obs registry (?format=prom
+//	                                or a text/plain Accept selects Prometheus
+//	                                text exposition)
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -29,6 +33,8 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /jobs/{id}/timeline.json", s.handleTimelineJSON)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.obs.Metrics().Handler())
 	s.mux = mux

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"diogenes/internal/timeline"
+)
+
+// getRaw fetches a path and returns status, Content-Type and body.
+func getRaw(t *testing.T, ts *httptest.Server, path string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// TestServedTimeline drives both timeline endpoints for a run job and a
+// fleet job: the HTML page must be self-contained with the model inlined,
+// and timeline.json must be the raw model both renderers consume.
+func TestServedTimeline(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, run, _, _ := postJob(t, ts, `{"kind":"run","app":"rodinia_gaussian","scale":0.05}`)
+	if code != 202 {
+		t.Fatalf("run submit: status %d", code)
+	}
+	waitState(t, ts, run.ID)
+
+	code, ct, body := getRaw(t, ts, "/jobs/"+run.ID+"/timeline")
+	if code != 200 || !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("timeline: status %d, Content-Type %q", code, ct)
+	}
+	for _, want := range []string{`<script id="model" type="application/json">`, `id="chartbox"`, "rodinia_gaussian"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("timeline page missing %q", want)
+		}
+	}
+	// The embedded model must parse and match the model endpoint's
+	// structure: all three renderers read the same document.
+	_, open, _ := bytes.Cut(body, []byte(`<script id="model" type="application/json">`))
+	embedded, _, ok := bytes.Cut(open, []byte("</script>"))
+	if !ok {
+		t.Fatal("model script never closes")
+	}
+	em, err := timeline.ReadModel(bytes.NewReader(embedded))
+	if err != nil {
+		t.Fatalf("embedded model: %v", err)
+	}
+
+	code, ct, body = getRaw(t, ts, "/jobs/"+run.ID+"/timeline.json")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("timeline.json: status %d, Content-Type %q", code, ct)
+	}
+	m, err := timeline.ReadModel(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("timeline.json: %v", err)
+	}
+	if m.Kind != "run" || m.Meta.App != "rodinia_gaussian" || m.Meta.Version == "" {
+		t.Fatalf("model header: kind=%q meta=%+v", m.Kind, m.Meta)
+	}
+	if len(m.Lanes) < 2 || len(m.Events) == 0 || len(m.Overlays) != 4 {
+		t.Fatalf("model shape: %d lanes, %d events, %d overlays", len(m.Lanes), len(m.Events), len(m.Overlays))
+	}
+	var cpu, gpuLanes int
+	for _, l := range m.Lanes {
+		switch l.Kind {
+		case timeline.LaneCPU:
+			cpu++
+		case timeline.LaneGPU:
+			gpuLanes++
+		}
+	}
+	if cpu != 1 || gpuLanes == 0 {
+		t.Fatalf("run model lanes: %d cpu, %d gpu", cpu, gpuLanes)
+	}
+	if em.Kind != m.Kind || len(em.Lanes) != len(m.Lanes) || len(em.Events) != len(m.Events) {
+		t.Fatalf("embedded model diverges from timeline.json: %d/%d lanes, %d/%d events",
+			len(em.Lanes), len(m.Lanes), len(em.Events), len(m.Events))
+	}
+
+	// Fleet job: rank lanes plus the barrier lane.
+	code, fleet, _, _ := postJob(t, ts, `{"kind":"fleet","app":"amg","ranks":2,"scale":0.02}`)
+	if code != 202 {
+		t.Fatalf("fleet submit: status %d", code)
+	}
+	waitState(t, ts, fleet.ID)
+	code, _, body = getRaw(t, ts, "/jobs/"+fleet.ID+"/timeline.json")
+	if code != 200 {
+		t.Fatalf("fleet timeline.json: status %d\n%s", code, body)
+	}
+	fm, err := timeline.ReadModel(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("fleet model: %v", err)
+	}
+	if fm.Kind != "fleet" || fm.Meta.Ranks != 2 {
+		t.Fatalf("fleet model header: kind=%q meta=%+v", fm.Kind, fm.Meta)
+	}
+	var ranks int
+	for _, l := range fm.Lanes {
+		if l.Kind == timeline.LaneRank {
+			ranks++
+		}
+	}
+	if ranks != 2 {
+		t.Fatalf("fleet model rank lanes = %d, want 2", ranks)
+	}
+	if code, _, _ := getRaw(t, ts, "/jobs/"+fleet.ID+"/timeline"); code != 200 {
+		t.Fatalf("fleet timeline page: status %d", code)
+	}
+
+	// Replay job: the timeline renders the replay's own measurement — the
+	// same lane kinds and stage overlays, though stream placement may
+	// legitimately differ from the live run's.
+	traceRaw, _ := runDocParts(t, getReport(t, ts, run.ID, "json"))
+	replayBody, err := json.Marshal(map[string]any{"kind": "replay", "trace": json.RawMessage(traceRaw)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, replay, _, raw := postJob(t, ts, string(replayBody))
+	if code != 202 {
+		t.Fatalf("replay submit: status %d: %s", code, raw)
+	}
+	waitState(t, ts, replay.ID)
+	code, _, body = getRaw(t, ts, "/jobs/"+replay.ID+"/timeline.json")
+	if code != 200 {
+		t.Fatalf("replay timeline.json: status %d\n%s", code, body)
+	}
+	pm, err := timeline.ReadModel(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("replay model: %v", err)
+	}
+	var replCPU, replGPU int
+	for _, l := range pm.Lanes {
+		switch l.Kind {
+		case timeline.LaneCPU:
+			replCPU++
+		case timeline.LaneGPU:
+			replGPU++
+		}
+	}
+	if pm.Kind != "replay" || replCPU != 1 || replGPU == 0 || len(pm.Overlays) != 4 {
+		t.Fatalf("replay model: kind=%q, %d cpu + %d gpu lanes, %d overlays",
+			pm.Kind, replCPU, replGPU, len(pm.Overlays))
+	}
+	if code, _, _ := getRaw(t, ts, "/jobs/"+replay.ID+"/timeline"); code != 200 {
+		t.Fatalf("replay timeline page: status %d", code)
+	}
+}
+
+// TestServedTimelineErrors covers the non-happy paths: unknown job,
+// not-done job, and a job kind with no timeline.
+func TestServedTimelineErrors(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _, _ := getRaw(t, ts, "/jobs/nope/timeline"); code != 404 {
+		t.Fatalf("unknown job: status %d, want 404", code)
+	}
+	if code, _, _ := getRaw(t, ts, "/jobs/nope/timeline.json"); code != 404 {
+		t.Fatalf("unknown job json: status %d, want 404", code)
+	}
+
+	// A suite kind completes but has no single timeline.
+	code, v, _, _ := postJob(t, ts, `{"kind":"table1","scale":0.02}`)
+	if code != 202 {
+		t.Fatalf("table1 submit: status %d", code)
+	}
+	waitState(t, ts, v.ID)
+	code, _, body := getRaw(t, ts, "/jobs/"+v.ID+"/timeline")
+	if code != 400 || !bytes.Contains(body, []byte("has no timeline")) {
+		t.Fatalf("table1 timeline: status %d body %s", code, body)
+	}
+}

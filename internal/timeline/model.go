@@ -1,0 +1,372 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/ffm"
+	"diogenes/internal/gpu"
+	"diogenes/internal/simtime"
+	"diogenes/internal/trace"
+)
+
+// Model is the stable intermediate timeline: lanes, events, links and
+// overlays as plain deterministic structs, constructed once from a
+// pipeline's artifacts and rendered by every consumer — the Chrome
+// exporter, the text report's timing sections, and the served web view all
+// read this one shape. All times are virtual nanoseconds (simtime), so the
+// encoding carries no floats except where a renderer chooses them.
+//
+// Determinism contract: a Model built from identical pipeline inputs
+// serializes to identical bytes regardless of worker count — no maps, no
+// pointers, no wall-clock values. Builders never stamp the tool version;
+// exporters that want a self-describing file set Meta.Version themselves,
+// keeping committed model goldens toolchain-independent.
+type Model struct {
+	// Kind is the producing job kind: "run", "replay" or "fleet".
+	Kind string `json:"kind"`
+	Meta Meta   `json:"meta"`
+	// Reference is the uninstrumented execution time — the §5.3
+	// denominator under the probe-overhead overlays. Zero for fleet
+	// models (per-rank references live on the rank lanes).
+	Reference simtime.Duration `json:"reference,omitempty"`
+	Lanes     []Lane           `json:"lanes"`
+	Events    []Event          `json:"events"`
+	// Overlays carry the §5.3 per-stage collection-cost ledger.
+	Overlays []Overlay `json:"overlays,omitempty"`
+	// Links connect duplicate transfers to their first occurrence.
+	Links []DupLink `json:"links,omitempty"`
+	// Ribbons connect straggler ranks to the barriers that charged them.
+	Ribbons []SkewRibbon `json:"ribbons,omitempty"`
+}
+
+// Meta identifies what was measured. Version is set only by exporters
+// (CLI, daemon), never by builders — see the Model determinism contract.
+type Meta struct {
+	App string `json:"app,omitempty"`
+	// Family and Seed are filled when the app name matches a registered
+	// generative workload family ("ml-train-7" → "ml-train", 7).
+	Family string `json:"family,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Rank and Ranks are filled for per-rank captures ("amg@rank1/4")
+	// and fleet models. Rank is meaningful only when Ranks > 0.
+	Rank    int    `json:"rank,omitempty"`
+	Ranks   int    `json:"ranks,omitempty"`
+	Version string `json:"version,omitempty"`
+}
+
+// Lane kinds.
+const (
+	LaneCPU     = "cpu"     // the CPU thread's driver calls
+	LaneGPU     = "gpu"     // one GPU stream
+	LaneRank    = "rank"    // one rank of a fleet launch
+	LaneBarrier = "barrier" // the fleet's collective lane
+)
+
+// Lane is one horizontal row of the timeline. Row is the stable display
+// ordinal (and the Chrome tid). Fleet rank lanes carry the rank's summary
+// so the web view can annotate rows without a second document.
+type Lane struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Label  string `json:"label"`
+	Row    int    `json:"row"`
+	Stream int    `json:"stream,omitempty"`
+	Rank   int    `json:"rank,omitempty"`
+
+	// Fleet rank summary (zero elsewhere).
+	Failed    bool             `json:"failed,omitempty"`
+	Exec      simtime.Duration `json:"exec,omitempty"`
+	Benefit   simtime.Duration `json:"benefit,omitempty"`
+	Problems  int              `json:"problems,omitempty"`
+	Waited    simtime.Duration `json:"waited,omitempty"`
+	Charged   simtime.Duration `json:"charged,omitempty"`
+	Straggles int              `json:"straggles,omitempty"`
+}
+
+// Event is one timeline slice, attributed to a lane by ID. CPU driver
+// calls fold their trailing blocked portion into Wait; renderers expand it
+// (the Chrome exporter emits a nested "wait" slice, the web view shades the
+// tail). GPU events on a never-completing kernel carry Open with Dur 0.
+type Event struct {
+	Lane  string           `json:"lane"`
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat"`
+	Start simtime.Time     `json:"start"`
+	Dur   simtime.Duration `json:"dur"`
+
+	// CPU driver-call detail.
+	Seq       int64            `json:"seq,omitempty"`
+	Class     string           `json:"class,omitempty"`
+	Scope     string           `json:"scope,omitempty"`
+	Wait      simtime.Duration `json:"wait,omitempty"`
+	Duplicate bool             `json:"duplicate,omitempty"`
+	Protected bool             `json:"protected,omitempty"`
+	FirstUse  simtime.Duration `json:"firstUse,omitempty"`
+
+	// GPU operation detail.
+	Bytes  int  `json:"bytes,omitempty"`
+	Stream int  `json:"stream,omitempty"`
+	Open   bool `json:"open,omitempty"`
+}
+
+// Overlay is one stage of the §5.3 collection-cost ledger: the stage's run
+// time and the share its probes consumed. Label is the terminal report's
+// short name, Detail the Markdown table's long one.
+type Overlay struct {
+	ID     string           `json:"id"`
+	Label  string           `json:"label"`
+	Detail string           `json:"detail"`
+	Time   simtime.Duration `json:"time"`
+	Probe  simtime.Duration `json:"probe"`
+}
+
+// Collection is the total collection cost across the overlays — the same
+// figure as ffm.Report.CollectionCost, recomputed from the model so
+// renderers need only the model.
+func (m *Model) Collection() simtime.Duration {
+	var total simtime.Duration
+	for _, o := range m.Overlays {
+		total += o.Time
+	}
+	return total
+}
+
+// OverheadMultiple is Collection divided by Reference — §5.3's 8×–20×
+// figure, recomputed from the model.
+func (m *Model) OverheadMultiple() float64 {
+	if m.Reference <= 0 {
+		return 0
+	}
+	return float64(m.Collection()) / float64(m.Reference)
+}
+
+// DupLink connects a duplicate transfer record to the first occurrence of
+// its payload (both by trace sequence number).
+type DupLink struct {
+	FromSeq int64  `json:"fromSeq"`
+	ToSeq   int64  `json:"toSeq"`
+	Func    string `json:"func"`
+	Bytes   int    `json:"bytes"`
+}
+
+// SkewRibbon links a straggler finding to one barrier that charged it: the
+// rank arrived last at barrier Index, and the other ranks together waited
+// Wait. Barrier names the barrier-lane event; Rank names the rank lane.
+type SkewRibbon struct {
+	Rank    int              `json:"rank"`
+	Barrier int              `json:"barrier"`
+	Arrive  simtime.Time     `json:"arrive"`
+	Latency simtime.Duration `json:"latency"`
+	Wait    simtime.Duration `json:"wait"`
+	// RankWaits is each rank's wait at this barrier, indexed by rank.
+	RankWaits []simtime.Duration `json:"rankWaits"`
+}
+
+// FromTrace builds the core model from an annotated run and the device
+// operation log; either may be nil. Lanes are the CPU driver row plus one
+// row per GPU stream; events preserve record order then device-log order,
+// which is what every renderer (and the Chrome exporter's byte-identity)
+// relies on.
+func FromTrace(run *trace.Run, ops []*gpu.Op) *Model {
+	m := &Model{Kind: "run"}
+	if run != nil {
+		m.Meta = metaForApp(run.App)
+		m.Lanes = append(m.Lanes, Lane{ID: "cpu", Kind: LaneCPU, Label: "CPU driver calls", Row: tidCPU})
+		for i := range run.Records {
+			rec := &run.Records[i]
+			m.Events = append(m.Events, Event{
+				Lane:      "cpu",
+				Name:      rec.Func,
+				Cat:       "driver",
+				Start:     rec.Entry,
+				Dur:       rec.Duration(),
+				Seq:       rec.Seq,
+				Class:     string(rec.Class),
+				Scope:     rec.Scope,
+				Wait:      rec.SyncWait,
+				Duplicate: rec.Duplicate,
+				Protected: rec.ProtectedAccess,
+				FirstUse:  rec.FirstUse,
+			})
+			if rec.Duplicate {
+				m.Links = append(m.Links, DupLink{
+					FromSeq: rec.Seq, ToSeq: rec.FirstSeq, Func: rec.Func, Bytes: rec.Bytes,
+				})
+			}
+		}
+	}
+	streams := map[gpu.StreamID]bool{}
+	for _, op := range ops {
+		streams[op.Stream] = true
+	}
+	ids := make([]int, 0, len(streams))
+	for s := range streams {
+		ids = append(ids, int(s))
+	}
+	sort.Ints(ids)
+	for _, s := range ids {
+		m.Lanes = append(m.Lanes, Lane{
+			ID:     laneForStream(s),
+			Kind:   LaneGPU,
+			Label:  fmt.Sprintf("GPU stream %d", s),
+			Row:    streamBase + s,
+			Stream: s,
+		})
+	}
+	for _, op := range ops {
+		e := Event{
+			Lane:   laneForStream(int(op.Stream)),
+			Name:   op.Name,
+			Cat:    op.Kind.String(),
+			Start:  op.Start,
+			Bytes:  op.Bytes,
+			Stream: int(op.Stream),
+		}
+		if op.End == simtime.Infinity {
+			e.Open = true // renders as a zero-length marker
+		} else {
+			e.Dur = op.End.Sub(op.Start)
+		}
+		m.Events = append(m.Events, e)
+	}
+	return m
+}
+
+// FromReport builds the model for one pipeline report: the trace-derived
+// lanes and events plus the §5.3 stage-cost overlays and the reference
+// time. kind distinguishes a first-hand run from a replay.
+func FromReport(kind string, rep *ffm.Report) *Model {
+	m := FromTrace(rep.Trace, rep.DeviceOps)
+	m.Kind = kind
+	if m.Meta.App == "" {
+		m.Meta = metaForApp(rep.App)
+	}
+	m.Reference = rep.UninstrumentedTime
+	m.Overlays = []Overlay{
+		{ID: "stage1", Label: "baseline", Detail: "baseline", Time: rep.Stage1Time, Probe: rep.Stage1Overhead},
+		{ID: "stage2", Label: "tracing", Detail: "detailed tracing", Time: rep.Stage2Time, Probe: rep.Stage2Overhead},
+		{ID: "stage3", Label: "memory/hash", Detail: "memory tracing + hashing", Time: rep.Stage3Time, Probe: rep.Stage3Overhead},
+		{ID: "stage4", Label: "sync-use", Detail: "sync-use analysis", Time: rep.Stage4Time, Probe: rep.Stage4Overhead},
+	}
+	return m
+}
+
+// FromFleet builds the cross-rank model for a fleet report: one lane per
+// rank carrying its summary, a barrier lane with one event per skewed
+// collective, and a skew ribbon linking each straggler finding to the
+// barrier that charged it.
+func FromFleet(fr *ffm.FleetReport) *Model {
+	m := &Model{Kind: "fleet", Meta: metaForApp(fr.App)}
+	m.Meta.Ranks = fr.Ranks
+	skewFor := func(rank int) (ffm.FleetSkewRank, bool) {
+		if fr.Skew == nil || rank >= len(fr.Skew.PerRank) {
+			return ffm.FleetSkewRank{}, false
+		}
+		return fr.Skew.PerRank[rank], true
+	}
+	for _, o := range fr.PerRank {
+		lane := Lane{
+			ID:       laneForRank(o.Rank),
+			Kind:     LaneRank,
+			Label:    fmt.Sprintf("rank %d", o.Rank),
+			Row:      o.Rank,
+			Rank:     o.Rank,
+			Failed:   o.Failed(),
+			Exec:     o.ExecTime,
+			Benefit:  o.TotalBenefit,
+			Problems: o.Problems,
+		}
+		if sk, ok := skewFor(o.Rank); ok {
+			lane.Waited, lane.Charged, lane.Straggles = sk.Waited, sk.Charged, sk.Straggles
+		}
+		m.Lanes = append(m.Lanes, lane)
+		if !o.Failed() {
+			m.Events = append(m.Events, Event{
+				Lane:  laneForRank(o.Rank),
+				Name:  fmt.Sprintf("rank %d", o.Rank),
+				Cat:   "exec",
+				Start: 0,
+				Dur:   o.ExecTime,
+			})
+		}
+	}
+	if fr.Skew != nil && len(fr.Skew.Barriers) > 0 {
+		m.Lanes = append(m.Lanes, Lane{
+			ID: "barriers", Kind: LaneBarrier, Label: "collectives", Row: fr.Ranks,
+		})
+		for _, b := range fr.Skew.Barriers {
+			m.Events = append(m.Events, Event{
+				Lane:  "barriers",
+				Name:  fmt.Sprintf("barrier %d", b.Index),
+				Cat:   "barrier",
+				Start: b.Arrive,
+				Dur:   b.Latency,
+			})
+			m.Ribbons = append(m.Ribbons, SkewRibbon{
+				Rank:      b.Straggler,
+				Barrier:   b.Index,
+				Arrive:    b.Arrive,
+				Latency:   b.Latency,
+				Wait:      b.Wait,
+				RankWaits: b.RankWaits,
+			})
+		}
+	}
+	return m
+}
+
+func laneForStream(s int) string { return "stream-" + strconv.Itoa(s) }
+func laneForRank(r int) string   { return "rank-" + strconv.Itoa(r) }
+
+// metaForApp derives identity metadata from an application name: the
+// "@rankR/N" suffix of a per-rank capture, and the "-<seed>" suffix of a
+// registered generative family.
+func metaForApp(app string) Meta {
+	m := Meta{App: app}
+	base := app
+	if at := strings.LastIndex(base, "@rank"); at >= 0 {
+		spec := base[at+len("@rank"):]
+		if slash := strings.IndexByte(spec, '/'); slash > 0 {
+			rank, err1 := strconv.Atoi(spec[:slash])
+			ranks, err2 := strconv.Atoi(spec[slash+1:])
+			if err1 == nil && err2 == nil && ranks > 0 {
+				m.Rank, m.Ranks = rank, ranks
+				base = base[:at]
+			}
+		}
+	}
+	for _, fam := range apps.Families() {
+		prefix := fam.Name + "-"
+		if !strings.HasPrefix(base, prefix) {
+			continue
+		}
+		if seed, err := strconv.ParseInt(base[len(prefix):], 10, 64); err == nil {
+			m.Family, m.Seed = fam.Name, seed
+			break
+		}
+	}
+	return m
+}
+
+// WriteJSON serializes the model deterministically (indented, sorted-free:
+// the document contains no maps).
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadModel parses a model written by WriteJSON.
+func ReadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("timeline: decoding model: %w", err)
+	}
+	return &m, nil
+}

@@ -1,23 +1,27 @@
-// Package timeline exports the simulated execution as a Chrome trace-event
-// file (the chrome://tracing / Perfetto JSON format), with one row for the
-// CPU thread's driver calls — wait portions marked — and one row per GPU
-// stream. The paper stores Diogenes data in JSON "allowing other tools the
-// ability to access data collected by Diogenes" (§4); a standard timeline
-// format is the natural visualization companion.
+// Package timeline holds the stable intermediate timeline model (Model)
+// built once from a pipeline's artifacts — annotated trace, device
+// operation log, §5.3 stage ledgers, and for fleet launches the per-rank
+// outcomes and barrier-skew ledger — plus its renderers: a Chrome
+// trace-event exporter (the chrome://tracing / Perfetto JSON format), the
+// text report's timing sections, and the served web view all consume the
+// same Model. The paper stores Diogenes data in JSON "allowing other tools
+// the ability to access data collected by Diogenes" (§4); one shared
+// in-memory shape is what keeps the renderers telling the same story.
 package timeline
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"diogenes/internal/gpu"
 	"diogenes/internal/simtime"
 	"diogenes/internal/trace"
 )
 
-// Event is one Chrome trace event (the "X" complete-event form).
-type Event struct {
+// ChromeEvent is one Chrome trace event (the "X" complete-event form).
+type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat"`
 	Phase string         `json:"ph"`
@@ -30,7 +34,7 @@ type Event struct {
 
 // File is the top-level trace-event container.
 type File struct {
-	TraceEvents []Event           `json:"traceEvents"`
+	TraceEvents []ChromeEvent     `json:"traceEvents"`
 	Metadata    map[string]string `json:"otherData,omitempty"`
 }
 
@@ -44,56 +48,93 @@ const (
 func us(t simtime.Time) float64        { return float64(t) / float64(simtime.Microsecond) }
 func usDur(d simtime.Duration) float64 { return float64(d) / float64(simtime.Microsecond) }
 
-// Build assembles a trace file from an annotated run (CPU rows) and the
-// device operation log (GPU rows). Either may be nil.
+// Build assembles a Chrome trace file from an annotated run (CPU rows) and
+// the device operation log (GPU rows). Either may be nil. It is the
+// model-then-render composition kept for existing callers.
 func Build(run *trace.Run, ops []*gpu.Op) *File {
+	return FromTrace(run, ops).Chrome()
+}
+
+// Chrome renders the model as a Chrome trace-event file: one row for the
+// CPU thread's driver calls — wait portions emitted as nested "wait"
+// slices — one row per GPU stream, and for fleet models one row per rank.
+// The event layout is a pure function of the model, so byte-determinism of
+// the model carries over to the export. The file's otherData identifies
+// the capture: app, family/seed, ranks, and tool version when stamped.
+func (m *Model) Chrome() *File {
 	f := &File{Metadata: map[string]string{
 		"tool":   "diogenes",
 		"format": "chrome-trace-events",
 	}}
-	if run != nil {
-		f.Metadata["app"] = run.App
-		for i := range run.Records {
-			rec := &run.Records[i]
-			args := map[string]any{
-				"class": string(rec.Class),
-				"scope": rec.Scope,
-			}
-			if rec.Duplicate {
-				args["duplicate"] = true
-			}
-			if rec.ProtectedAccess {
-				args["firstUse_us"] = usDur(rec.FirstUse)
-			}
-			f.TraceEvents = append(f.TraceEvents, Event{
-				Name: rec.Func, Cat: "driver", Phase: "X",
-				TS: us(rec.Entry), Dur: usDur(rec.Duration()),
-				PID: pidProcess, TID: tidCPU, Args: args,
-			})
-			if rec.SyncWait > 0 {
-				// Render the wait portion as a nested slice at the end of
-				// the call, where the block happens.
-				waitStart := rec.Exit.Add(-rec.SyncWait)
-				f.TraceEvents = append(f.TraceEvents, Event{
-					Name: "wait", Cat: "sync", Phase: "X",
-					TS: us(waitStart), Dur: usDur(rec.SyncWait),
-					PID: pidProcess, TID: tidCPU,
-					Args: map[string]any{"for": rec.Func},
-				})
-			}
+	if m.Meta.App != "" {
+		f.Metadata["app"] = m.Meta.App
+	}
+	if m.Meta.Family != "" {
+		f.Metadata["family"] = m.Meta.Family
+		f.Metadata["seed"] = strconv.FormatInt(m.Meta.Seed, 10)
+	}
+	if m.Meta.Ranks > 0 {
+		f.Metadata["ranks"] = strconv.Itoa(m.Meta.Ranks)
+		if m.Kind != "fleet" {
+			f.Metadata["rank"] = strconv.Itoa(m.Meta.Rank)
 		}
 	}
-	for _, op := range ops {
-		end := op.End
-		if end == simtime.Infinity {
-			end = op.Start // open-ended kernels render as zero-length markers
+	if m.Meta.Version != "" {
+		f.Metadata["version"] = m.Meta.Version
+	}
+	rows := make(map[string]Lane, len(m.Lanes))
+	for _, l := range m.Lanes {
+		rows[l.ID] = l
+	}
+	for i := range m.Events {
+		e := &m.Events[i]
+		lane := rows[e.Lane]
+		switch lane.Kind {
+		case LaneCPU:
+			args := map[string]any{
+				"class": e.Class,
+				"scope": e.Scope,
+			}
+			if e.Duplicate {
+				args["duplicate"] = true
+			}
+			if e.Protected {
+				args["firstUse_us"] = usDur(e.FirstUse)
+			}
+			f.TraceEvents = append(f.TraceEvents, ChromeEvent{
+				Name: e.Name, Cat: e.Cat, Phase: "X",
+				TS: us(e.Start), Dur: usDur(e.Dur),
+				PID: pidProcess, TID: lane.Row, Args: args,
+			})
+			if e.Wait > 0 {
+				// Render the wait portion as a nested slice at the end of
+				// the call, where the block happens.
+				waitStart := e.Start.Add(e.Dur - e.Wait)
+				f.TraceEvents = append(f.TraceEvents, ChromeEvent{
+					Name: "wait", Cat: "sync", Phase: "X",
+					TS: us(waitStart), Dur: usDur(e.Wait),
+					PID: pidProcess, TID: lane.Row,
+					Args: map[string]any{"for": e.Name},
+				})
+			}
+		case LaneGPU:
+			// Open-ended kernels carry Dur 0 and render as zero-length
+			// markers; the subtraction reproduces the historical float
+			// rounding exactly.
+			end := e.Start.Add(e.Dur)
+			f.TraceEvents = append(f.TraceEvents, ChromeEvent{
+				Name: e.Name, Cat: e.Cat, Phase: "X",
+				TS: us(e.Start), Dur: us(end) - us(e.Start),
+				PID: pidProcess, TID: lane.Row,
+				Args: map[string]any{"bytes": e.Bytes, "stream": e.Stream},
+			})
+		default: // rank and barrier lanes: plain slices, no args
+			f.TraceEvents = append(f.TraceEvents, ChromeEvent{
+				Name: e.Name, Cat: e.Cat, Phase: "X",
+				TS: us(e.Start), Dur: usDur(e.Dur),
+				PID: pidProcess, TID: lane.Row,
+			})
 		}
-		f.TraceEvents = append(f.TraceEvents, Event{
-			Name: op.Name, Cat: op.Kind.String(), Phase: "X",
-			TS: us(op.Start), Dur: us(end) - us(op.Start),
-			PID: pidProcess, TID: streamBase + int(op.Stream),
-			Args: map[string]any{"bytes": op.Bytes, "stream": int(op.Stream)},
-		})
 	}
 	return f
 }

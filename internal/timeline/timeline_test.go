@@ -54,7 +54,7 @@ func TestBuildRows(t *testing.T) {
 func TestWaitSlicePlacement(t *testing.T) {
 	run, _ := sample()
 	f := Build(run, nil)
-	var wait *Event
+	var wait *ChromeEvent
 	for i := range f.TraceEvents {
 		if f.TraceEvents[i].Name == "wait" {
 			wait = &f.TraceEvents[i]

@@ -1,0 +1,41 @@
+package timeline
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// viewHTML is the self-contained explorer page: vanilla HTML/CSS/JS with
+// zero external requests, so a saved copy works as well as a served one.
+//
+//go:embed assets/view.html
+var viewHTML string
+
+// WriteHTML renders the model as the timeline explorer page with the
+// model document inlined. The JSON encoder's HTML escaping (the default)
+// guarantees no literal "</script>" can appear inside the embedded
+// document, so the page needs no runtime fetch and no sanitizer.
+func (m *Model) WriteHTML(w io.Writer) error {
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(m); err != nil {
+		return err
+	}
+	title := m.Meta.App
+	if title == "" {
+		title = m.Kind
+	}
+	page := strings.NewReplacer(
+		"__TITLE__", html.EscapeString(title),
+		"__MODEL_JSON__", strings.TrimSpace(buf.String()),
+	).Replace(viewHTML)
+	if strings.Contains(page, "__MODEL_JSON__") {
+		return fmt.Errorf("timeline: view template lost its model placeholder")
+	}
+	_, err := io.WriteString(w, page)
+	return err
+}
