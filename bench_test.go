@@ -24,8 +24,10 @@ import (
 	"diogenes/internal/ffm/graph"
 	"diogenes/internal/hashstore"
 	"diogenes/internal/interpose"
+	"diogenes/internal/ledger"
 	"diogenes/internal/obs"
 	"diogenes/internal/profiler"
+	"diogenes/internal/serve"
 	"diogenes/internal/simtime"
 	"diogenes/internal/trace"
 )
@@ -355,6 +357,47 @@ func BenchmarkFullPipelineRodinia(b *testing.B) {
 		}
 	}
 }
+
+// --- Provenance ledger: append overhead by mode ------------------------------
+
+// benchLedgerAppend measures DiskStore.Put with a given provenance mode:
+// batch 0 attaches no ledger (the baseline store write), batch 1 is the
+// direct mode (every append seals its own batch and syncs the file),
+// batch 64 is the default Merkle batching (the sync amortizes across the
+// batch). The difference against baseline is the per-report provenance
+// cost EXPERIMENTS.md tabulates.
+func benchLedgerAppend(b *testing.B, batch int) {
+	dir := b.TempDir()
+	st, err := serve.OpenDiskStore(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if batch > 0 {
+		l, err := ledger.Open(ledger.Config{
+			Path: dir + "/ledger.log", BatchSize: batch, FlushInterval: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		st.AttachLedger(l)
+	}
+	payload := make([]byte, 32<<10)
+	simtime.NewRNG(7).Bytes(payload)
+	const storeKey = "a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1a3f1"
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload[0], payload[1] = byte(i), byte(i>>8) // vary content, vary digest
+		if err := st.Put(storeKey, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLedgerAppendBaseline(b *testing.B) { benchLedgerAppend(b, 0) }
+func BenchmarkLedgerAppendDirect(b *testing.B)   { benchLedgerAppend(b, 1) }
+func BenchmarkLedgerAppendMerkle64(b *testing.B) { benchLedgerAppend(b, 64) }
 
 // --- Ablations: the design choices DESIGN.md calls out ----------------------
 

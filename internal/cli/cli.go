@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -138,6 +139,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		err = Obs(stdout, rest)
 	case "serve":
 		err = Serve(stdout, rest)
+	case "verify-ledger":
+		err = VerifyLedger(stdout, rest)
 	case "version":
 		err = Version(stdout)
 	case "help", "-h", "--help":
@@ -149,6 +152,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "diogenes: %v\n", err)
+		var ec *ExitCodeError
+		if errors.As(err, &ec) {
+			return ec.Code
+		}
 		return 1
 	}
 	if code := exportObservations(stdout, stderr, o, *tracePath, *metricsPath); code != 0 {
@@ -264,8 +271,17 @@ commands:
       -workers n            concurrent jobs (0 = all cores)
       -store dir            persistent report store directory
       -store-budget n       store LRU byte budget (0 = unbounded)
+      -ledger-batch n       provenance ledger Merkle batch size (1 = seal
+                            every append; default 64)
+      -ledger-flush d       provenance ledger flush interval (default 2s;
+                            negative disables the timer)
       -timeout d            default per-job execution cap
       -drain d              graceful-shutdown drain budget (default 30s)
+  verify-ledger <dir>       audit a store directory against its provenance
+                            ledger: replay the chain, recompute every Merkle
+                            root, re-hash every resident report. Exit 0 clean,
+                            3 truncated (interrupted append, self-repairing),
+                            4 tampered.
   version                   print the build's version and exit
 `)
 }

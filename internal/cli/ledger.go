@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"diogenes/internal/ledger"
+	"diogenes/internal/serve"
+)
+
+// Distinct verify-ledger exit codes. 0 is a clean audit and 1 remains
+// the generic operational failure (unreadable directory, no ledger
+// file), so scripts can tell "the audit ran and found something" apart
+// from "the audit could not run".
+const (
+	// ExitTruncated: the ledger ends mid-entry — an interrupted append,
+	// repaired automatically the next time the daemon opens the ledger.
+	ExitTruncated = 3
+	// ExitTampered: the chain does not replay, or a resident report does
+	// not hash to its ledgered digest. Never repaired automatically.
+	ExitTampered = 4
+)
+
+// ExitCodeError carries a specific process exit code through the
+// command error path; Main unwraps it with errors.As.
+type ExitCodeError struct {
+	Code int
+	Err  error
+}
+
+func (e *ExitCodeError) Error() string { return e.Err.Error() }
+func (e *ExitCodeError) Unwrap() error { return e.Err }
+
+// VerifyLedger audits a store directory against its provenance ledger:
+// the full chain is replayed with every Merkle root recomputed, and
+// every resident report is re-hashed against the digest the ledger
+// committed for it. The verdict maps to the exit code — clean 0,
+// truncated ExitTruncated, tampered ExitTampered.
+func VerifyLedger(w io.Writer, args []string) error {
+	dir, args := takeName(args)
+	fs := newFlagSet("verify-ledger")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if dir == "" {
+		return fmt.Errorf("verify-ledger: store directory expected (the daemon's -store dir)")
+	}
+	a, err := serve.VerifyStore(dir)
+	if err != nil {
+		return err
+	}
+	la := a.Ledger
+	fmt.Fprintf(w, "ledger:  %d entries in %d sealed batches (%d unsealed)\n",
+		la.Entries, la.Batches, la.Unsealed)
+	fmt.Fprintf(w, "head:    %s\n", la.Head.Chain)
+	fmt.Fprintf(w, "reports: %d re-hashed and matched, %d ledgered but evicted\n",
+		a.ReportsChecked, a.ReportsMissing)
+	switch a.Outcome {
+	case ledger.Clean:
+		fmt.Fprintln(w, "verdict: clean")
+		return nil
+	case ledger.Truncated:
+		fmt.Fprintf(w, "verdict: truncated — %s\n", a.Detail)
+		return &ExitCodeError{
+			Code: ExitTruncated,
+			Err:  fmt.Errorf("verify-ledger: %s: truncated: %s", dir, a.Detail),
+		}
+	default:
+		fmt.Fprintf(w, "verdict: TAMPERED — %s\n", a.Detail)
+		return &ExitCodeError{
+			Code: ExitTampered,
+			Err:  fmt.Errorf("verify-ledger: %s: tampered: %s", dir, a.Detail),
+		}
+	}
+}

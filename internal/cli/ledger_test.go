@@ -1,0 +1,141 @@
+package cli
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diogenes/internal/ledger"
+	"diogenes/internal/serve"
+)
+
+// buildLedgeredStore assembles a store directory with n ledgered reports
+// the way the daemon would: each Put appends to the attached ledger
+// before the report file lands. It returns the directory and the stored
+// keys in Put order.
+func buildLedgeredStore(t *testing.T, n int) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := serve.OpenDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ledger.Open(ledger.Config{
+		Path: filepath.Join(dir, "ledger.log"), BatchSize: 2, FlushInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachLedger(l)
+	var keys []string
+	for i := 0; i < n; i++ {
+		sum := sha256.Sum256([]byte{byte(i)})
+		key := hex.EncodeToString(sum[:])
+		if err := st.Put(key, []byte(fmt.Sprintf(`{"report":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, keys
+}
+
+func TestVerifyLedgerClean(t *testing.T) {
+	dir, _ := buildLedgeredStore(t, 5)
+	code, out, _ := runMain(t, "verify-ledger", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	for _, want := range []string{"verdict: clean", "5 entries", "5 re-hashed and matched"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyLedgerTamperedReportExit4(t *testing.T) {
+	dir, keys := buildLedgeredStore(t, 3)
+	p := filepath.Join(dir, keys[1]+".bin")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runMain(t, "verify-ledger", dir)
+	if code != ExitTampered {
+		t.Fatalf("exit = %d, want %d; output:\n%s%s", code, ExitTampered, out, errOut)
+	}
+	if !strings.Contains(out, "TAMPERED") || !strings.Contains(out, keys[1]) {
+		t.Errorf("verdict should name the tampered report:\n%s", out)
+	}
+}
+
+func TestVerifyLedgerTamperedChainExit4(t *testing.T) {
+	dir, _ := buildLedgeredStore(t, 4)
+	p := filepath.Join(dir, "ledger.log")
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one hex digit inside the first entry's digest field.
+	i := strings.Index(string(b), `"digest":"`) + len(`"digest":"`)
+	if b[i] == 'f' {
+		b[i] = '0'
+	} else {
+		b[i] = 'f'
+	}
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runMain(t, "verify-ledger", dir)
+	if code != ExitTampered {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, ExitTampered, out)
+	}
+}
+
+func TestVerifyLedgerTruncatedExit3(t *testing.T) {
+	dir, _ := buildLedgeredStore(t, 5)
+	p := filepath.Join(dir, "ledger.log")
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the final line: an interrupted append, not tampering.
+	if err := os.Truncate(p, fi.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runMain(t, "verify-ledger", dir)
+	if code != ExitTruncated {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, ExitTruncated, out)
+	}
+	if !strings.Contains(out, "verdict: truncated") {
+		t.Errorf("verdict should say truncated:\n%s", out)
+	}
+}
+
+func TestVerifyLedgerOperationalErrors(t *testing.T) {
+	if code, _, errOut := runMain(t, "verify-ledger"); code != 1 || !strings.Contains(errOut, "store directory expected") {
+		t.Fatalf("missing argument: exit = %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runMain(t, "verify-ledger", filepath.Join(t.TempDir(), "nope")); code != 1 {
+		t.Fatal("nonexistent directory should be an operational failure (exit 1), not a verdict")
+	}
+}
+
+func TestUsageMentionsVerifyLedger(t *testing.T) {
+	_, _, errOut := runMain(t, "help")
+	for _, want := range []string{"verify-ledger", "-ledger-batch", "-ledger-flush"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("usage missing %q", want)
+		}
+	}
+}

@@ -34,6 +34,8 @@ func serveWithContext(ctx context.Context, w io.Writer, args []string) error {
 	engineWorkers := fs.Int("engine-workers", 1, "default per-job experiment engine width")
 	storeDir := fs.String("store", "", "persistent report store directory (empty = in-memory only)")
 	storeBudget := fs.Int64("store-budget", 0, "store LRU byte budget (0 = unbounded)")
+	ledgerBatch := fs.Int("ledger-batch", 0, "provenance ledger Merkle batch size (1 = seal every append; 0 = default 64)")
+	ledgerFlush := fs.Duration("ledger-flush", 0, "provenance ledger flush interval (0 = default 2s; negative disables the timer)")
 	cacheBudget := fs.Int64("cache-budget", 0, "in-memory report cache byte budget (0 = unbounded)")
 	timeout := fs.Duration("timeout", 0, "default per-job execution cap (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
@@ -51,6 +53,8 @@ func serveWithContext(ctx context.Context, w io.Writer, args []string) error {
 		DefaultTimeout: *timeout,
 		StoreDir:       *storeDir,
 		StoreBudget:    *storeBudget,
+		LedgerBatch:    *ledgerBatch,
+		LedgerFlush:    *ledgerFlush,
 		CacheBudget:    *cacheBudget,
 	})
 	if err != nil {

@@ -30,6 +30,23 @@ type Store interface {
 	Put(key string, val []byte) error
 }
 
+// ValidKey reports whether key has the shape this package's content
+// addresses produce: non-empty lower-case hex of bounded length. Stores
+// and provenance auditors use it to recognize (and refuse to fabricate)
+// key-addressed artifacts — nothing that is not a content address may
+// name one.
+func ValidKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // RunKey returns the content-addressed key identifying one engine pipeline
 // run of the named application's original variant at the given scale —
 // CacheKey under this engine's configuration. The second result is false

@@ -1,0 +1,226 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Line operations of the on-disk format. Every line is one JSON object;
+// leaves record appends, seals commit batches.
+const (
+	opLeaf = "leaf"
+	opSeal = "seal"
+)
+
+// lineRec is the wire form of one ledger line.
+type lineRec struct {
+	V  int    `json:"v"`
+	Op string `json:"op"`
+	// Seq: for a leaf, its sequence number; for a seal, the last
+	// sequence it covers.
+	Seq uint64 `json:"seq"`
+	// Leaf fields.
+	Key    string `json:"key,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	// Seal fields.
+	Batch uint64 `json:"batch,omitempty"`
+	Count int    `json:"count,omitempty"`
+	Root  string `json:"root,omitempty"`
+	Chain string `json:"chain,omitempty"`
+}
+
+// replayState is the in-memory ledger state a valid file prefix replays
+// to — the same shape Ledger carries live.
+type replayState struct {
+	seq       uint64
+	sealedSeq uint64
+	chain     [32]byte
+	roots     [][32]byte
+	chains    [][32]byte
+	starts    []uint64
+	leaves    []leafRec
+	latest    map[string]uint64
+	open      []leafRec
+}
+
+// replay walks the file contents line by line, re-verifying everything a
+// reader can: sequence continuity, batch counts, recomputed Merkle roots,
+// and the hash chain. It returns the state of the longest valid prefix,
+// the byte length of that prefix, whether the file ends in a partial line
+// (crash truncation), and a description of the first structural violation
+// ("" when the prefix covers the whole file). A violation and a partial
+// tail are distinct conditions: the first is evidence of tampering, the
+// second of an interrupted append.
+func replay(data []byte) (st *replayState, goodLen int, truncated bool, problem string) {
+	st = &replayState{chain: genesis(), latest: make(map[string]uint64)}
+	offset := 0
+	lineNo := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			// No terminating newline: an interrupted append. Everything
+			// before this line already replayed.
+			return st, offset, true, ""
+		}
+		line := data[offset : offset+nl]
+		lineNo++
+		if msg := st.apply(line); msg != "" {
+			return st, offset, false, fmt.Sprintf("line %d: %s", lineNo, msg)
+		}
+		offset += nl + 1
+	}
+	return st, offset, false, ""
+}
+
+// apply replays one complete line into the state, returning a problem
+// description or "".
+func (st *replayState) apply(line []byte) string {
+	var rec lineRec
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Sprintf("unparseable entry: %v", err)
+	}
+	if rec.V != 1 {
+		return fmt.Sprintf("unknown format version %d", rec.V)
+	}
+	switch rec.Op {
+	case opLeaf:
+		if rec.Seq != st.seq+1 {
+			return fmt.Sprintf("leaf sequence %d breaks continuity (want %d)", rec.Seq, st.seq+1)
+		}
+		digest, err := parseHash(rec.Digest)
+		if err != nil {
+			return fmt.Sprintf("leaf %d digest: %v", rec.Seq, err)
+		}
+		if rec.Key == "" {
+			return fmt.Sprintf("leaf %d has no key", rec.Seq)
+		}
+		leaf := leafRec{seq: rec.Seq, key: rec.Key, digest: digest}
+		st.seq = rec.Seq
+		st.leaves = append(st.leaves, leaf)
+		st.latest[rec.Key] = rec.Seq
+		st.open = append(st.open, leaf)
+		return ""
+	case opSeal:
+		if len(st.open) == 0 {
+			return "seal over an empty batch"
+		}
+		if rec.Batch != uint64(len(st.roots))+1 {
+			return fmt.Sprintf("seal batch %d breaks continuity (want %d)", rec.Batch, len(st.roots)+1)
+		}
+		if rec.Seq != st.seq {
+			return fmt.Sprintf("seal covers through %d but the last leaf is %d", rec.Seq, st.seq)
+		}
+		if rec.Count != len(st.open) {
+			return fmt.Sprintf("seal count %d but %d entries are unsealed", rec.Count, len(st.open))
+		}
+		hs := make([][32]byte, len(st.open))
+		for i, leaf := range st.open {
+			hs[i] = leafHash(leaf.seq, leaf.key, leaf.digest)
+		}
+		root := merkleRoot(hs)
+		if hex.EncodeToString(root[:]) != rec.Root {
+			return fmt.Sprintf("batch %d root does not match its entries", rec.Batch)
+		}
+		chain := chainStep(st.chain, root)
+		if hex.EncodeToString(chain[:]) != rec.Chain {
+			return fmt.Sprintf("batch %d breaks the hash chain", rec.Batch)
+		}
+		st.starts = append(st.starts, st.open[0].seq)
+		st.roots = append(st.roots, root)
+		st.chains = append(st.chains, chain)
+		st.chain = chain
+		st.sealedSeq = st.seq
+		st.open = nil
+		return ""
+	default:
+		return fmt.Sprintf("unknown operation %q", rec.Op)
+	}
+}
+
+// Outcome classifies a ledger audit. The three values map to the
+// distinct verify-ledger exit codes: a clean chain, an interrupted append
+// (recoverable; the daemon repairs it on reopen), and evidence of
+// alteration (not recoverable; someone must look).
+type Outcome int
+
+const (
+	Clean Outcome = iota
+	Truncated
+	Tampered
+)
+
+// String renders the outcome for reports and error messages.
+func (o Outcome) String() string {
+	switch o {
+	case Clean:
+		return "clean"
+	case Truncated:
+		return "truncated"
+	case Tampered:
+		return "tampered"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Audit is the result of verifying a ledger file.
+type Audit struct {
+	// Outcome classifies the file as a whole.
+	Outcome Outcome
+	// Detail describes the first problem found ("" when clean).
+	Detail string
+	// Entries, Batches and Unsealed describe the valid prefix.
+	Entries  int
+	Batches  int
+	Unsealed int
+	// Head is the valid prefix's head commitment.
+	Head Head
+	// Latest maps each store key to the hex digest its most recent entry
+	// committed — what the key's resident report bytes must hash to.
+	Latest map[string]string
+}
+
+// VerifyFile replays and fully re-verifies the ledger at path: sequence
+// continuity, every batch root recomputed from its entries, and the hash
+// chain linking the roots. It never modifies the file. The returned
+// error is reserved for I/O failures; structural problems are reported
+// through the Audit.
+func VerifyFile(path string) (*Audit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: verify: %w", err)
+	}
+	st, _, truncated, problem := replay(data)
+	a := &Audit{
+		Entries:  len(st.leaves),
+		Batches:  len(st.roots),
+		Unsealed: len(st.open),
+		Latest:   make(map[string]string, len(st.latest)),
+	}
+	for key, seq := range st.latest {
+		d := st.leaves[seq-1].digest
+		a.Latest[key] = hex.EncodeToString(d[:])
+	}
+	a.Head = Head{
+		Seq:      st.seq,
+		Batches:  uint64(len(st.roots)),
+		Chain:    hex.EncodeToString(st.chain[:]),
+		Unsealed: len(st.open),
+	}
+	if n := len(st.roots); n > 0 {
+		a.Head.Root = hex.EncodeToString(st.roots[n-1][:])
+	}
+	switch {
+	case problem != "":
+		a.Outcome = Tampered
+		a.Detail = problem
+	case truncated:
+		a.Outcome = Truncated
+		a.Detail = "file ends mid-entry (interrupted append; reopening the ledger repairs it)"
+	default:
+		a.Outcome = Clean
+	}
+	return a, nil
+}

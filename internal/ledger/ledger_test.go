@@ -1,0 +1,401 @@
+package ledger
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diogenes/internal/obs"
+)
+
+// testLedger opens a timer-free ledger in a temp dir.
+func testLedger(t *testing.T, batch int) (*Ledger, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.log")
+	l, err := Open(Config{Path: path, BatchSize: batch, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+// payload produces a distinct deterministic report body per index.
+func payload(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("report-%d|", i)), 64)
+}
+
+// keyOf produces a store-key-shaped (hex) name per index.
+func keyOf(i int) string {
+	d := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(d[:])
+}
+
+func TestAppendProveVerifyAcrossBatchShapes(t *testing.T) {
+	// Batch sizes that exercise direct mode, odd promotion, and the
+	// default; entry counts that leave partial open batches behind.
+	for _, batch := range []int{1, 2, 3, 5, 64} {
+		for _, n := range []int{1, 2, 7, 13} {
+			t.Run(fmt.Sprintf("batch%d_n%d", batch, n), func(t *testing.T) {
+				l, _ := testLedger(t, batch)
+				for i := 0; i < n; i++ {
+					seq, err := l.Append(keyOf(i), payload(i))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if seq != uint64(i)+1 {
+						t.Fatalf("append %d got seq %d", i, seq)
+					}
+				}
+				// Every entry must prove against the head its proof was
+				// generated with.
+				for i := 0; i < n; i++ {
+					p, head, err := l.Prove(uint64(i) + 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := Verify(p, head.Chain); err != nil {
+						t.Fatalf("entry %d: %v", i+1, err)
+					}
+					want := sha256.Sum256(payload(i))
+					if p.Digest != hex.EncodeToString(want[:]) {
+						t.Fatalf("entry %d digest mismatch", i+1)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestProofFailsAgainstWrongHead(t *testing.T) {
+	l, _ := testLedger(t, 4)
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, head, err := l.Prove(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, head.Chain); err != nil {
+		t.Fatal(err)
+	}
+	other := sha256.Sum256([]byte("not the head"))
+	if err := Verify(p, hex.EncodeToString(other[:])); err == nil {
+		t.Fatal("proof verified against a fabricated head")
+	}
+	// A proof generated before later batches seal must fail against the
+	// newer head (its LaterRoots no longer reach it) — staleness is
+	// detectable, not silent.
+	for i := 6; i < 12; i++ {
+		if _, err := l.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, l.Head().Chain); err == nil {
+		t.Fatal("stale proof verified against an advanced head")
+	}
+}
+
+func TestProveSealsOpenBatchOnDemand(t *testing.T) {
+	l, _ := testLedger(t, 64)
+	if _, err := l.Append(keyOf(0), payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if h := l.Head(); h.Unsealed != 1 || h.Batches != 0 {
+		t.Fatalf("head before prove: %+v", h)
+	}
+	p, head, err := l.Prove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Unsealed != 0 || head.Batches != 1 {
+		t.Fatalf("prove did not seal: %+v", head)
+	}
+	if err := Verify(p, head.Chain); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadDeterministicAcrossLedgers(t *testing.T) {
+	a, _ := testLedger(t, 3)
+	b, _ := testLedger(t, 3)
+	for i := 0; i < 9; i++ {
+		if _, err := a.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Head() != b.Head() {
+		t.Fatalf("identical appends, different heads:\n%+v\n%+v", a.Head(), b.Head())
+	}
+}
+
+func TestReopenReplaysAndContinuesChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.log")
+	l, err := Open(Config{Path: path, BatchSize: 3, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ { // two sealed batches + one unsealed entry
+		if _, err := l.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Head()
+	if err := l.Close(); err != nil { // Close seals the open entry
+		t.Fatal(err)
+	}
+
+	r, err := Open(Config{Path: path, BatchSize: 3, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	after := r.Head()
+	if after.Seq != before.Seq || after.Batches != 3 {
+		t.Fatalf("reopen head %+v (before close: %+v)", after, before)
+	}
+	// The replayed instance can prove pre-restart entries...
+	p, head, err := r.Prove(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, head.Chain); err != nil {
+		t.Fatal(err)
+	}
+	// ...and appends continue the same chain another fresh replay agrees
+	// with.
+	if _, err := r.Append(keyOf(7), payload(7)); err != nil {
+		t.Fatal(err)
+	}
+	if seq, ok := r.SeqFor(keyOf(7)); !ok || seq != 8 {
+		t.Fatalf("SeqFor after reopen = %d, %v", seq, ok)
+	}
+}
+
+func TestOpenRepairsCrashTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.log")
+	l, err := Open(Config{Path: path, BatchSize: 2, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-entry: drop the trailing newline and half the last line.
+	cut := data[:len(data)-40]
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if a, err := VerifyFile(path); err != nil || a.Outcome != Truncated {
+		t.Fatalf("pre-repair audit: %v, %+v", err, a)
+	}
+
+	r, err := Open(Config{Path: path, BatchSize: 2, FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("reopen after crash truncation: %v", err)
+	}
+	defer r.Close()
+	// The partial entry is gone; the survivor state is a valid prefix and
+	// new appends work.
+	if _, err := r.Append(keyOf(9), payload(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if a, err := VerifyFile(path); err != nil || a.Outcome != Clean {
+		t.Fatalf("post-repair audit: %v, %+v", err, a)
+	}
+}
+
+func TestOpenRefusesTamperedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.log")
+	l, err := Open(Config{Path: path, BatchSize: 2, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one hex digit inside the first line's digest.
+	i := bytes.Index(data, []byte(`"digest":"`)) + len(`"digest":"`)
+	if data[i] == 'f' {
+		data[i] = '0'
+	} else {
+		data[i] = 'f'
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Path: path, BatchSize: 2, FlushInterval: -1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open on tampered file: %v, want ErrCorrupt", err)
+	}
+	if a, aerr := VerifyFile(path); aerr != nil || a.Outcome != Tampered {
+		t.Fatalf("audit of tampered file: %v, %+v", aerr, a)
+	}
+}
+
+func TestVerifyFileDetectsEveryInteriorByteFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.log")
+	l, err := Open(Config{Path: path, BatchSize: 2, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every single byte in turn: the audit must never come back
+	// clean. (A flip may read as tampering or — when it hits the final
+	// newline — truncation; both are detections.)
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		a, err := VerifyFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Outcome == Clean {
+			t.Fatalf("flip at byte %d (%q) went undetected", i, orig[i])
+		}
+	}
+}
+
+func TestSingleWriterLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.log")
+	l, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Path: path}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open: %v, want ErrLocked", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	r.Close()
+}
+
+func TestClosedLedgerRefusesOperations(t *testing.T) {
+	l, _ := testLedger(t, 2)
+	if _, err := l.Append(keyOf(0), payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(keyOf(1), payload(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if _, _, err := l.Prove(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("prove after close: %v", err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsWiring(t *testing.T) {
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "ledger.log")
+	l, err := Open(Config{Path: path, BatchSize: 2, FlushInterval: -1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(keyOf(i), payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := l.Prove(5); err != nil { // seals the open fifth entry
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ledger/appends").Value(); got != 5 {
+		t.Fatalf("appends counter = %d", got)
+	}
+	if got := reg.Counter("ledger/seals").Value(); got != 3 {
+		t.Fatalf("seals counter = %d", got)
+	}
+	if got := reg.Counter("ledger/proofs").Value(); got != 1 {
+		t.Fatalf("proofs counter = %d", got)
+	}
+	if got := reg.Histogram("ledger/seal_ns").Count(); got != 3 {
+		t.Fatalf("seal latency observations = %d", got)
+	}
+}
+
+func TestAuditLatestDigests(t *testing.T) {
+	l, path := testLedger(t, 2)
+	if _, err := l.Append(keyOf(0), payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-put of the same key: the audit must track the latest digest.
+	if _, err := l.Append(keyOf(0), payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256(payload(1))
+	if a.Latest[keyOf(0)] != hex.EncodeToString(want[:]) {
+		t.Fatalf("latest digest for re-put key = %s", a.Latest[keyOf(0)])
+	}
+	if a.Entries != 2 || a.Batches != 1 {
+		t.Fatalf("audit counts: %+v", a)
+	}
+	if !strings.Contains(a.Outcome.String(), "clean") {
+		t.Fatalf("outcome %v", a.Outcome)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package ledger
+
+import "os"
+
+// Non-unix platforms get no advisory lock: the ledger still works, but
+// single-writer discipline is the deployment's responsibility there. The
+// supported (CI) platform is linux, where lock_unix.go applies.
+func lockFile(*os.File) error { return nil }
+
+func unlockFile(*os.File) {}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package ledger
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on the ledger
+// file. The lock belongs to the open file description, so it conflicts
+// with any other opener — another process or another Ledger in this one —
+// and the kernel releases it automatically when the process dies, which
+// is what makes crash recovery lock-file-free.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return ErrLocked
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// unlockFile releases the advisory lock (also implicit in closing f).
+func unlockFile(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,213 @@
+package ledger
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Hash sizes and domain-separation tags. Leaf and interior hashes use
+// distinct prefixes so an interior node can never be replayed as a leaf
+// (the classic second-preimage trick against naive Merkle trees).
+const (
+	tagLeaf = 0x00
+	tagNode = 0x01
+)
+
+// genesisSeed fixes the chain's starting commitment: the first sealed
+// batch chains over sha256 of this string, so an empty ledger has a
+// well-known head and two independent ledgers with identical appends
+// commit to identical heads.
+const genesisSeed = "diogenes-ledger-genesis-v1"
+
+// genesis returns the chain value before any batch has been sealed.
+func genesis() [32]byte { return sha256.Sum256([]byte(genesisSeed)) }
+
+// leafHash commits one ledger entry: the sequence number, the
+// content-addressed store key (the SuiteKey/FleetSuiteKey fingerprint of
+// the pipeline inputs that produced the report), and the sha256 digest of
+// the persisted report bytes.
+func leafHash(seq uint64, key string, digest [32]byte) [32]byte {
+	h := sha256.New()
+	var buf [9]byte
+	buf[0] = tagLeaf
+	binary.BigEndian.PutUint64(buf[1:], seq)
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	h.Write(digest[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash commits one interior node over its two children.
+func nodeHash(left, right [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{tagNode})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// chainStep advances the batch chain: chain' = H(chain || root). The
+// head commitment therefore pins every sealed root in order.
+func chainStep(chain, root [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(chain[:])
+	h.Write(root[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleRoot folds the leaf hashes into the batch root. An odd node at
+// any level promotes unchanged (no Bitcoin-style duplication, whose
+// repeated-leaf malleability we do not want). hs must be non-empty.
+func merkleRoot(hs [][32]byte) [32]byte {
+	level := append([][32]byte(nil), hs...)
+	for len(level) > 1 {
+		next := level[:0:0]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, nodeHash(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// merklePath collects the sibling hashes proving membership of hs[idx],
+// bottom to top. Levels where the node promotes without a sibling
+// contribute nothing.
+func merklePath(hs [][32]byte, idx int) [][32]byte {
+	var sibs [][32]byte
+	level := append([][32]byte(nil), hs...)
+	for len(level) > 1 {
+		if s := idx ^ 1; s < len(level) {
+			sibs = append(sibs, level[s])
+		}
+		next := level[:0:0]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, nodeHash(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		idx /= 2
+	}
+	return sibs
+}
+
+// Proof is a self-contained inclusion proof: everything needed to verify
+// that one report digest is committed by a ledger head, with no access to
+// the ledger itself. The Merkle path ties the leaf to its batch root; the
+// chain fields tie that root to the head commitment.
+type Proof struct {
+	// Seq is the entry's 1-based append sequence number.
+	Seq uint64 `json:"seq"`
+	// Key is the content-addressed store key the report persisted under.
+	Key string `json:"key"`
+	// Digest is the hex sha256 of the persisted report bytes.
+	Digest string `json:"digest"`
+	// Batch is the 1-based sealed batch the entry belongs to.
+	Batch uint64 `json:"batch"`
+	// Index and Count locate the leaf inside its batch.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Siblings is the Merkle path, bottom to top, hex encoded.
+	Siblings []string `json:"siblings"`
+	// Root is the batch's sealed Merkle root.
+	Root string `json:"root"`
+	// PrevChain is the chain commitment before this batch sealed.
+	PrevChain string `json:"prevChain"`
+	// LaterRoots are the roots of every batch sealed after this one, in
+	// order, so the verifier can walk the chain up to the head.
+	LaterRoots []string `json:"laterRoots"`
+}
+
+// Verify checks p statelessly against a head commitment (the "chain"
+// value from the ledger head, e.g. GET /ledger/root). It recomputes the
+// leaf hash from seq/key/digest, folds the Merkle path to the batch root,
+// and replays the chain from PrevChain through LaterRoots; any mutation
+// of any field fails. A nil error means the digest is committed by that
+// head.
+func Verify(p *Proof, headChain string) error {
+	if p == nil {
+		return fmt.Errorf("ledger: nil proof")
+	}
+	if p.Count < 1 || p.Index < 0 || p.Index >= p.Count {
+		return fmt.Errorf("ledger: proof index %d out of batch of %d", p.Index, p.Count)
+	}
+	digest, err := parseHash(p.Digest)
+	if err != nil {
+		return fmt.Errorf("ledger: proof digest: %w", err)
+	}
+	root, err := parseHash(p.Root)
+	if err != nil {
+		return fmt.Errorf("ledger: proof root: %w", err)
+	}
+	prev, err := parseHash(p.PrevChain)
+	if err != nil {
+		return fmt.Errorf("ledger: proof prevChain: %w", err)
+	}
+	h := leafHash(p.Seq, p.Key, digest)
+	idx, width, si := p.Index, p.Count, 0
+	for width > 1 {
+		if idx^1 < width {
+			if si >= len(p.Siblings) {
+				return fmt.Errorf("ledger: proof path too short for batch of %d", p.Count)
+			}
+			sib, err := parseHash(p.Siblings[si])
+			if err != nil {
+				return fmt.Errorf("ledger: proof sibling %d: %w", si, err)
+			}
+			si++
+			if idx%2 == 0 {
+				h = nodeHash(h, sib)
+			} else {
+				h = nodeHash(sib, h)
+			}
+		}
+		idx /= 2
+		width = (width + 1) / 2
+	}
+	if si != len(p.Siblings) {
+		return fmt.Errorf("ledger: proof path has %d surplus siblings", len(p.Siblings)-si)
+	}
+	if !bytes.Equal(h[:], root[:]) {
+		return fmt.Errorf("ledger: recomputed root does not match the proof's batch root")
+	}
+	chain := chainStep(prev, root)
+	for i, r := range p.LaterRoots {
+		lr, err := parseHash(r)
+		if err != nil {
+			return fmt.Errorf("ledger: proof laterRoots[%d]: %w", i, err)
+		}
+		chain = chainStep(chain, lr)
+	}
+	if hex.EncodeToString(chain[:]) != headChain {
+		return fmt.Errorf("ledger: proof chain does not reach the head commitment")
+	}
+	return nil
+}
+
+// parseHash decodes one hex sha256 value.
+func parseHash(s string) ([32]byte, error) {
+	var out [32]byte
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return out, err
+	}
+	if len(b) != 32 {
+		return out, fmt.Errorf("hash is %d bytes, want 32", len(b))
+	}
+	copy(out[:], b)
+	return out, nil
+}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"diogenes/internal/ledger"
 )
 
 // maxRequestBody bounds a submission document; analysis requests are a
@@ -19,10 +21,13 @@ const maxRequestBody = 1 << 20
 //	GET    /jobs                    list retained jobs
 //	GET    /jobs/{id}               job status + span-derived progress
 //	DELETE /jobs/{id}               cancel a job
-//	GET    /jobs/{id}/report        completed report (?format=json|text)
+//	GET    /jobs/{id}/report        completed report (?format=json|text|doc;
+//	                                ?proof=1 wraps the stored document in a
+//	                                ledger inclusion-proof envelope)
 //	GET    /jobs/{id}/timeline      served timeline explorer (self-contained HTML)
 //	GET    /jobs/{id}/timeline.json the raw timeline model
-//	GET    /healthz                 liveness + queue occupancy
+//	GET    /ledger/root             the provenance ledger's head commitment
+//	GET    /healthz                 liveness + queue occupancy + ledger head
 //	GET    /metrics                 the server's obs registry (?format=prom
 //	                                or a text/plain Accept selects Prometheus
 //	                                text exposition)
@@ -35,6 +40,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /jobs/{id}/timeline.json", s.handleTimelineJSON)
+	mux.HandleFunc("GET /ledger/root", s.handleLedgerRoot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.obs.Metrics().Handler())
 	s.mux = mux
@@ -165,24 +171,104 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
+	s.setLedgerHeaders(w, j)
+	if r.URL.Query().Get("proof") != "" {
+		s.writeProofEnvelope(w, j)
+		return
+	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(doc.JSON)
+	case "doc":
+		// The exact stored document bytes, unformatted: what the store
+		// persisted, what the ledger digested, what a proof's digest field
+		// must equal the sha256 of. Any re-encoding (indentation, field
+		// ordering) would break digest comparison, so these bytes pass
+		// through verbatim.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
 	case "text", "txt", "md", "markdown":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(doc.Text))
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown format %q (want json or text)", format)})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown format %q (want json, text or doc)", format)})
 	}
 }
 
+// setLedgerHeaders stamps a report response with its provenance
+// coordinates when the report is ledgered: the entry's sequence number
+// and the ledger's current head commitment. Informational — the real
+// verification path is the ?proof=1 envelope.
+func (s *Server) setLedgerHeaders(w http.ResponseWriter, j *Job) {
+	if s.ledger == nil || j.storeKey == "" {
+		return
+	}
+	seq, ok := s.ledger.SeqFor(j.storeKey)
+	if !ok {
+		return
+	}
+	w.Header().Set("X-Diogenes-Ledger-Seq", strconv.FormatUint(seq, 10))
+	w.Header().Set("X-Diogenes-Ledger-Chain", s.ledger.Head().Chain)
+}
+
+// proofEnvelope is the ?proof=1 response: everything a client needs to
+// verify a served report statelessly. The client fetches the raw
+// document bytes (?format=doc), checks sha256(bytes) == proof.digest,
+// and runs ledger.Verify(proof, head.chain) — or against a head pinned
+// earlier from GET /ledger/root.
+type proofEnvelope struct {
+	Key   string        `json:"key"`
+	Proof *ledger.Proof `json:"proof"`
+	Head  ledger.Head   `json:"head"`
+}
+
+func (s *Server) writeProofEnvelope(w http.ResponseWriter, j *Job) {
+	if s.ledger == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no provenance ledger (store disabled, or another instance holds the writer lock)"})
+		return
+	}
+	if j.storeKey == "" {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("job %s is not content-addressed; its report is not ledgered", j.ID)})
+		return
+	}
+	seq, ok := s.ledger.SeqFor(j.storeKey)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("report for job %s is not in the provenance ledger", j.ID)})
+		return
+	}
+	p, head, err := s.ledger.Prove(seq)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, proofEnvelope{Key: j.storeKey, Proof: p, Head: head})
+}
+
+// handleLedgerRoot publishes the ledger's head commitment. Pinning this
+// value externally is what upgrades the chain's tamper evidence from
+// "interior edits" to "any edit including tail removal".
+func (s *Server) handleLedgerRoot(w http.ResponseWriter, _ *http.Request) {
+	if s.ledger == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no provenance ledger (store disabled, or another instance holds the writer lock)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ledger.Head())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":        "ok",
 		"accepting":     s.accepting.Load(),
 		"queueDepth":    s.queue.Depth(),
 		"queueCapacity": s.queue.Capacity(),
 		"jobs":          len(s.Jobs()),
-	})
+	}
+	if s.ledger != nil {
+		// The ledger head rides along so an operator's liveness probe also
+		// watches provenance: a growing "unsealed" depth means appends are
+		// outrunning seals (or the flush timer is misconfigured).
+		resp["ledger"] = s.ledger.Head()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

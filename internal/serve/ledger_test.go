@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diogenes/internal/ledger"
+)
+
+// newLedgeredServer builds a store-backed server with a timer-free
+// ledger so tests control sealing deterministically.
+func newLedgeredServer(t *testing.T, dir string, batch int) *Server {
+	t.Helper()
+	s, err := New(Options{
+		Workers: 1, QueueCapacity: 4,
+		StoreDir: dir, LedgerBatch: batch, LedgerFlush: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runOneJob submits a cheap cacheable job and waits for completion,
+// returning its ID.
+func runOneJob(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	code, v, _, raw := postJob(t, ts, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	if got := waitState(t, ts, v.ID); got.Status != "done" {
+		t.Fatalf("job finished %s: %s", got.Status, got.Error)
+	}
+	return v.ID
+}
+
+func getBody(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, raw
+}
+
+// TestServedProofVerifiesStatelessly is the acceptance path: fetch the
+// raw document bytes, fetch the proof envelope, and verify the proof
+// against the independently fetched /ledger/root head — using nothing
+// but the three HTTP responses.
+func TestServedProofVerifiesStatelessly(t *testing.T) {
+	s := newLedgeredServer(t, t.TempDir(), 2)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	id := runOneJob(t, ts, `{"kind":"run","app":"rodinia_gaussian","scale":0.02}`)
+
+	// The exact stored bytes.
+	code, hdr, doc := getBody(t, ts.URL+"/jobs/"+id+"/report?format=doc")
+	if code != 200 {
+		t.Fatalf("format=doc: status %d: %s", code, doc)
+	}
+	if hdr.Get("X-Diogenes-Ledger-Seq") == "" {
+		t.Error("report response missing X-Diogenes-Ledger-Seq")
+	}
+
+	// The proof envelope.
+	code, _, rawEnv := getBody(t, ts.URL+"/jobs/"+id+"/report?proof=1")
+	if code != 200 {
+		t.Fatalf("proof=1: status %d: %s", code, rawEnv)
+	}
+	var env struct {
+		Key   string        `json:"key"`
+		Proof *ledger.Proof `json:"proof"`
+		Head  ledger.Head   `json:"head"`
+	}
+	if err := json.Unmarshal(rawEnv, &env); err != nil {
+		t.Fatalf("decode envelope: %v\n%s", err, rawEnv)
+	}
+
+	// The published head. Proving sealed the batch, so the root endpoint
+	// must agree with the envelope's head.
+	code, _, rawHead := getBody(t, ts.URL+"/ledger/root")
+	if code != 200 {
+		t.Fatalf("/ledger/root: status %d: %s", code, rawHead)
+	}
+	var head ledger.Head
+	if err := json.Unmarshal(rawHead, &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Chain != env.Head.Chain {
+		t.Fatalf("envelope head %s != published head %s", env.Head.Chain, head.Chain)
+	}
+
+	// Client-side verification: hash the bytes, check the proof.
+	sum := sha256.Sum256(doc)
+	if hex.EncodeToString(sum[:]) != env.Proof.Digest {
+		t.Fatalf("served document does not hash to the proven digest")
+	}
+	if err := ledger.Verify(env.Proof, head.Chain); err != nil {
+		t.Fatalf("proof does not verify against the published head: %v", err)
+	}
+	// And a mutated digest must not.
+	bad := *env.Proof
+	bad.Digest = strings.Repeat("0", 64)
+	if err := ledger.Verify(&bad, head.Chain); err == nil {
+		t.Fatal("mutated proof verified")
+	}
+}
+
+func TestHealthzReportsLedgerHead(t *testing.T) {
+	s := newLedgeredServer(t, t.TempDir(), 64)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	runOneJob(t, ts, `{"kind":"run","app":"rodinia_gaussian","scale":0.02}`)
+
+	code, _, raw := getBody(t, ts.URL+"/healthz")
+	if code != 200 || !strings.Contains(string(raw), `"status": "ok"`) {
+		t.Fatalf("healthz: status %d: %s", code, raw)
+	}
+	var resp struct {
+		Ledger *ledger.Head `json:"ledger"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ledger == nil {
+		t.Fatalf("healthz missing ledger head:\n%s", raw)
+	}
+	if resp.Ledger.Seq != 1 || resp.Ledger.Unsealed != 1 {
+		t.Errorf("ledger head = %+v, want seq 1 with 1 unsealed (batch 64, timer off)", resp.Ledger)
+	}
+	if resp.Ledger.Chain == "" {
+		t.Error("ledger head missing chain commitment")
+	}
+}
+
+// TestLedgerEndpointsWithoutStore: an in-memory server has no ledger;
+// the provenance surface must say so, not pretend.
+func TestLedgerEndpointsWithoutStore(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	if code, _, _ := getBody(t, ts.URL+"/ledger/root"); code != 404 {
+		t.Fatalf("/ledger/root without a store: status %d, want 404", code)
+	}
+	id := runOneJob(t, ts, `{"kind":"run","app":"rodinia_gaussian","scale":0.02}`)
+	if code, _, _ := getBody(t, ts.URL+"/jobs/"+id+"/report?proof=1"); code != 404 {
+		t.Fatalf("proof without a ledger: status %d, want 404", code)
+	}
+}
+
+// TestCrashTruncatedLedgerRepairsOnReopen is the crash-consistency
+// satellite: a ledger chopped mid-entry audits as truncation (not
+// corruption), the daemon reopens it cleanly, and after a graceful
+// shutdown the store audits clean again.
+func TestCrashTruncatedLedgerRepairsOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := newLedgeredServer(t, dir, 2)
+	ts := httptest.NewServer(s.Handler())
+	runOneJob(t, ts, `{"kind":"run","app":"rodinia_gaussian","scale":0.02}`)
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: cut into the final (seal) line.
+	lp := filepath.Join(dir, ledgerName)
+	fi, err := os.Stat(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(lp, fi.Size()-25); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := VerifyStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcome != ledger.Truncated {
+		t.Fatalf("chopped tail audits as %s (%s), want truncated", a.Outcome, a.Detail)
+	}
+
+	// The daemon reopens and repairs — this must not be ErrCorrupt.
+	s2 := newLedgeredServer(t, dir, 2)
+	if s2.Ledger() == nil {
+		t.Fatal("reopened server has no ledger")
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close sealed the surviving entries; the store audits clean, with
+	// every resident report still vouched for.
+	a, err = VerifyStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcome != ledger.Clean {
+		t.Fatalf("after repair the store audits %s (%s), want clean", a.Outcome, a.Detail)
+	}
+	if a.ReportsChecked == 0 {
+		t.Fatal("repair lost the resident report's ledger entry")
+	}
+}
+
+// TestTamperedLedgerStopsDaemon: a ledger whose interior was altered
+// must refuse to open — the daemon fails startup rather than serve from
+// a store with broken provenance.
+func TestTamperedLedgerStopsDaemon(t *testing.T) {
+	dir := t.TempDir()
+	s := newLedgeredServer(t, dir, 2)
+	ts := httptest.NewServer(s.Handler())
+	runOneJob(t, ts, `{"kind":"run","app":"rodinia_gaussian","scale":0.02}`)
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	lp := filepath.Join(dir, ledgerName)
+	b, err := os.ReadFile(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.Index(string(b), `"digest":"`) + len(`"digest":"`)
+	if b[i] == 'f' {
+		b[i] = '0'
+	} else {
+		b[i] = 'f'
+	}
+	if err := os.WriteFile(lp, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = New(Options{Workers: 1, QueueCapacity: 4, StoreDir: dir, LedgerFlush: -1})
+	if !errors.Is(err, ledger.ErrCorrupt) {
+		t.Fatalf("New on a tampered ledger: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestVerifyStoreFlagsPlantedReport: a resident report the ledger never
+// vouched for is tampering when the chain itself replays clean.
+func TestVerifyStoreFlagsPlantedReport(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ledger.Open(ledger.Config{Path: filepath.Join(dir, ledgerName), BatchSize: 1, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachLedger(l)
+	key := strings.Repeat("ab", 32)
+	if err := st.Put(key, []byte("vouched")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	planted := strings.Repeat("cd", 32)
+	if err := os.WriteFile(filepath.Join(dir, planted+storeExt), []byte("planted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := VerifyStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcome != ledger.Tampered || !strings.Contains(a.Detail, planted) {
+		t.Fatalf("planted report audits %s (%s), want tampered naming it", a.Outcome, a.Detail)
+	}
+}
+
+// TestVerifyStoreToleratesEviction: a ledgered key whose file the LRU
+// budget evicted is counted missing, never flagged.
+func TestVerifyStoreToleratesEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ledger.Open(ledger.Config{Path: filepath.Join(dir, ledgerName), BatchSize: 1, FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachLedger(l)
+	key := strings.Repeat("ab", 32)
+	if err := st.Put(key, []byte("evict-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, key+storeExt)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := VerifyStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Outcome != ledger.Clean || a.ReportsMissing != 1 {
+		t.Fatalf("evicted report audits %s with %d missing, want clean with 1", a.Outcome, a.ReportsMissing)
+	}
+}
+
+// TestOpenDiskStoreSweepsStaleTemps: crash-leftover temp files older
+// than the sweep age are reclaimed at open; a fresh one (a live
+// sibling's in-flight write) survives.
+func TestOpenDiskStoreSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, tmpPrefix+"stale123")
+	fresh := filepath.Join(dir, tmpPrefix+"fresh456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp file survived the open sweep: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file was swept: %v", err)
+	}
+}

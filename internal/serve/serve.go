@@ -28,10 +28,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"path/filepath"
+
 	"diogenes/internal/experiments"
+	"diogenes/internal/ledger"
 	"diogenes/internal/obs"
 	"diogenes/internal/sched"
 )
+
+// ledgerName is the provenance ledger's file inside the store directory.
+// Store keys are hex, so the name can never collide with an entry.
+const ledgerName = "ledger.log"
 
 // Options configures a Server. The zero value is serviceable: an
 // in-memory-only server (no persistent store) with a 16-job backlog and
@@ -60,6 +67,15 @@ type Options struct {
 	StoreDir string
 	// StoreBudget is the on-disk store's LRU byte budget; 0 is unbounded.
 	StoreBudget int64
+	// LedgerBatch is the provenance ledger's Merkle batch size — how many
+	// persisted reports seal into one root. 1 seals (and syncs) every
+	// append, the direct mode; 0 selects ledger.DefaultBatchSize. Only
+	// meaningful with StoreDir.
+	LedgerBatch int
+	// LedgerFlush bounds how long an appended digest may wait in the open
+	// batch before a timer seals it; 0 selects
+	// ledger.DefaultFlushInterval, negative disables the timer.
+	LedgerFlush time.Duration
 	// CacheBudget bounds the in-memory report cache shared by all jobs;
 	// 0 is unbounded.
 	CacheBudget int64
@@ -87,13 +103,14 @@ func (e *BadRequestError) Unwrap() error { return e.Err }
 // Server is the analysis service. Create with New, mount Handler, and
 // call Shutdown to drain.
 type Server struct {
-	opts  Options
-	obs   *obs.Observer
-	cache *experiments.ReportCache
-	store *DiskStore
-	queue *sched.Queue
-	jobs  *manager
-	mux   *http.ServeMux
+	opts   Options
+	obs    *obs.Observer
+	cache  *experiments.ReportCache
+	store  *DiskStore
+	ledger *ledger.Ledger
+	queue  *sched.Queue
+	jobs   *manager
+	mux    *http.ServeMux
 
 	accepting atomic.Bool
 
@@ -154,6 +171,29 @@ func New(opts Options) (*Server, error) {
 		}
 		store.SetMetrics(o.Metrics())
 		s.store = store
+		led, err := ledger.Open(ledger.Config{
+			Path:          filepath.Join(opts.StoreDir, ledgerName),
+			BatchSize:     opts.LedgerBatch,
+			FlushInterval: opts.LedgerFlush,
+			Metrics:       o.Metrics(),
+		})
+		switch {
+		case errors.Is(err, ledger.ErrLocked):
+			// Another live instance shares this store directory and holds
+			// the ledger; this one serves without appending — the single
+			// writer keeps the chain linear. Its reports still persist;
+			// they are simply vouched for by the lock holder's appends
+			// when it writes the same content-addressed keys.
+		case err != nil:
+			// A ledger that does not replay (ErrCorrupt) or cannot be
+			// opened must stop the daemon: silently serving from a store
+			// whose provenance is broken is exactly the dishonesty the
+			// ledger exists to prevent.
+			return nil, err
+		default:
+			s.ledger = led
+			store.AttachLedger(led)
+		}
 	}
 	q, err := sched.NewQueue(opts.Workers, opts.QueueCapacity, o.Metrics())
 	if err != nil {
@@ -171,6 +211,10 @@ func (s *Server) Observer() *obs.Observer { return s.obs }
 
 // Store returns the persistent report store, or nil when disabled.
 func (s *Server) Store() *DiskStore { return s.store }
+
+// Ledger returns the provenance ledger, or nil when the store is
+// disabled or another instance holds the single-writer lock.
+func (s *Server) Ledger() *ledger.Ledger { return s.ledger }
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -276,6 +320,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		return fmt.Errorf("serve: shutdown drain: %w", ctx.Err())
+	}
+	// Every drained job's Put has appended by now; sealing the final
+	// batch makes the last reports provable before the process exits.
+	if s.ledger != nil {
+		if err := s.ledger.Close(); err != nil {
+			return fmt.Errorf("serve: shutdown ledger: %w", err)
+		}
 	}
 	if s.store != nil {
 		s.store.Flush()

@@ -12,11 +12,22 @@ import (
 	"time"
 
 	"diogenes/internal/experiments"
+	"diogenes/internal/ledger"
 	"diogenes/internal/obs"
 )
 
 // storeExt suffixes every stored entry, separating them from temp files.
 const storeExt = ".bin"
+
+// tmpPrefix names in-flight atomic-write temp files.
+const tmpPrefix = ".put-"
+
+// tmpSweepAge is how old a temp file must be before OpenDiskStore
+// reclaims it as a crash leftover. A live sibling instance's in-flight
+// write is seconds old at most; anything past this is an interrupted
+// write whose rename never happened, sitting on disk outside the byte
+// budget forever.
+const tmpSweepAge = 5 * time.Minute
 
 // DiskStore is a content-addressed persistent report store: one file per
 // key under one directory, with an LRU byte budget enforced on write.
@@ -44,6 +55,10 @@ type DiskStore struct {
 	accessSeq uint64
 	access    map[string]uint64
 
+	// ledger, when attached, receives one append per persisted report —
+	// the provenance trail behind every byte this store serves.
+	ledger *ledger.Ledger
+
 	hits      *obs.Counter
 	misses    *obs.Counter
 	puts      *obs.Counter
@@ -54,7 +69,10 @@ type DiskStore struct {
 var _ experiments.Store = (*DiskStore)(nil)
 
 // OpenDiskStore opens (creating if needed) a store in dir with the given
-// LRU byte budget; budget <= 0 is unbounded.
+// LRU byte budget; budget <= 0 is unbounded. Stale temp files left by
+// interrupted atomic writes — a crash between CreateTemp and Rename —
+// are swept at open, so crash leftovers stop occupying disk outside the
+// byte budget.
 func OpenDiskStore(dir string, budget int64) (*DiskStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("serve: store directory must be non-empty")
@@ -62,7 +80,40 @@ func OpenDiskStore(dir string, budget int64) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: open store: %w", err)
 	}
+	sweepStaleTemps(dir)
 	return &DiskStore{dir: dir, budget: budget, access: make(map[string]uint64)}, nil
+}
+
+// sweepStaleTemps removes crash-leftover temp files. The age guard keeps
+// a concurrently opening instance from yanking a live sibling's
+// in-flight write out from under its rename; a genuine leftover only
+// ages, so it is reclaimed on the next open after the guard elapses.
+func sweepStaleTemps(dir string) {
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tmpSweepAge)
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), tmpPrefix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, de.Name()))
+	}
+}
+
+// AttachLedger routes every subsequent Put through the provenance
+// ledger: the report's digest is appended — durably on disk — before the
+// report file itself appears under its final name, so a report the store
+// serves is always one the ledger vouches for.
+func (d *DiskStore) AttachLedger(l *ledger.Ledger) {
+	d.mu.Lock()
+	d.ledger = l
+	d.mu.Unlock()
 }
 
 // SetMetrics mirrors store traffic to a registry: store/hits,
@@ -88,13 +139,8 @@ func (d *DiskStore) Dir() string { return d.dir }
 // lower-case hex digest — keys are content addresses, and nothing else
 // may name a file here.
 func (d *DiskStore) path(key string) (string, error) {
-	if key == "" || len(key) > 128 {
+	if !experiments.ValidKey(key) {
 		return "", fmt.Errorf("serve: invalid store key %q", key)
-	}
-	for _, c := range key {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return "", fmt.Errorf("serve: invalid store key %q", key)
-		}
 	}
 	return filepath.Join(d.dir, key+storeExt), nil
 }
@@ -147,6 +193,20 @@ func (d *DiskStore) Put(key string, val []byte) error {
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: store put: %w", errors.Join(werr, cerr))
+	}
+	// Ledger before rename: the digest entry is on disk before the
+	// report file exists under its final name. A crash between the two
+	// leaves a ledgered-but-absent report (indistinguishable from an
+	// evicted one — harmless); the reverse order could leave a resident
+	// report no ledger vouches for.
+	d.mu.Lock()
+	led := d.ledger
+	d.mu.Unlock()
+	if led != nil {
+		if _, err := led.Append(key, val); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("serve: store put: ledger: %w", err)
+		}
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())

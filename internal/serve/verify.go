@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"diogenes/internal/ledger"
+)
+
+// StoreAudit is the result of verifying a store directory against its
+// provenance ledger: the ledger's own structural audit plus a
+// re-hashing of every resident report file.
+type StoreAudit struct {
+	// Outcome classifies the store as a whole, folding the ledger audit
+	// and the report re-hashing together.
+	Outcome ledger.Outcome
+	// Detail describes the first problem found ("" when clean).
+	Detail string
+	// Ledger is the underlying ledger file audit.
+	Ledger *ledger.Audit
+	// ReportsChecked counts resident report files whose bytes were
+	// re-hashed and matched their ledger digest.
+	ReportsChecked int
+	// ReportsMissing counts ledgered keys with no resident file — evicted
+	// by the LRU budget, which the ledger deliberately does not track.
+	// Missing is absence of evidence, not evidence of tampering.
+	ReportsMissing int
+}
+
+// VerifyStore audits the store directory at dir against its provenance
+// ledger: it replays and re-verifies the ledger file (sequence
+// continuity, every Merkle root recomputed, the hash chain), then
+// re-hashes every resident report and compares it to the digest the
+// ledger committed for its key.
+//
+// Classification:
+//
+//   - A resident report whose bytes do not hash to its ledgered digest
+//     is Tampered — the store's contents changed after production.
+//   - A resident report with no ledger entry at all is Tampered when the
+//     ledger replays clean: either the file was planted, or complete
+//     trailing ledger lines were removed. (In a multi-instance
+//     deployment a lock-degraded sibling can persist unledgered reports
+//     legitimately; verify-ledger assumes the single-writer layout.)
+//   - When the ledger itself ends mid-entry, an unledgered resident
+//     report is folded into the Truncated verdict instead: unsealed
+//     leaf lines are not synced until their batch seals, so an OS crash
+//     can durably keep a renamed report while losing the tail of the
+//     ledger line that vouched for it.
+//   - A ledgered key with no resident file is counted, not flagged —
+//     indistinguishable from LRU eviction.
+//
+// The returned error is reserved for operational failures (unreadable
+// directory, missing ledger file); integrity problems are reported
+// through the StoreAudit.
+func VerifyStore(dir string) (*StoreAudit, error) {
+	la, err := ledger.VerifyFile(filepath.Join(dir, ledgerName))
+	if err != nil {
+		return nil, err
+	}
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: verify store: %w", err)
+	}
+	a := &StoreAudit{Ledger: la}
+	resident := make(map[string]bool)
+	var mismatch, unledgered []string
+	var names []string
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), storeExt) {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names) // deterministic first-problem reporting
+	for _, name := range names {
+		key := strings.TrimSuffix(name, storeExt)
+		resident[key] = true
+		want, ok := la.Latest[key]
+		if !ok {
+			unledgered = append(unledgered, name)
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("serve: verify store: %w", err)
+		}
+		got := sha256.Sum256(data)
+		if hex.EncodeToString(got[:]) != want {
+			mismatch = append(mismatch, name)
+			continue
+		}
+		a.ReportsChecked++
+	}
+	for key := range la.Latest {
+		if !resident[key] {
+			a.ReportsMissing++
+		}
+	}
+	switch {
+	case la.Outcome == ledger.Tampered:
+		a.Outcome = ledger.Tampered
+		a.Detail = "ledger: " + la.Detail
+	case len(mismatch) > 0:
+		a.Outcome = ledger.Tampered
+		a.Detail = fmt.Sprintf("report %s does not hash to its ledgered digest", mismatch[0])
+	case len(unledgered) > 0 && la.Outcome == ledger.Clean:
+		a.Outcome = ledger.Tampered
+		a.Detail = fmt.Sprintf("report %s is resident but has no ledger entry", unledgered[0])
+	case la.Outcome == ledger.Truncated:
+		a.Outcome = ledger.Truncated
+		a.Detail = la.Detail
+		if len(unledgered) > 0 {
+			a.Detail = fmt.Sprintf("%s; report %s may be vouched for by the lost tail", la.Detail, unledgered[0])
+		}
+	default:
+		a.Outcome = ledger.Clean
+	}
+	return a, nil
+}
