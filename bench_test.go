@@ -621,6 +621,94 @@ func BenchmarkFleetAMG4(b *testing.B) {
 	b.ReportMetric(float64(fr.Analyzed), "ranks-analyzed")
 }
 
+// --- Fleet at scale: the streaming reduction's memory profile -----------------
+
+// fleetBenchOutcome fabricates one rank's pipeline outcome directly, so the
+// at-scale benchmarks measure the reduction — fold, adjacent merges, assembly —
+// rather than 1024 whole-world simulations. The shape mirrors a real fleet:
+// a handful of digests shared by every rank (the cross-rank duplicates the
+// report exists to find), two digests unique to the rank (carried to assembly,
+// then dropped), and a small per-rank problem overview.
+func fleetBenchOutcome(rank int) ffm.RankOutcome {
+	run := &trace.Run{App: "fleet-bench", ExecTime: simtime.Duration(1) * simtime.Second}
+	var seq int64
+	add := func(rec trace.Record) {
+		seq++
+		rec.Seq = seq
+		run.Records = append(run.Records, rec)
+	}
+	for i := 0; i < 6; i++ {
+		add(trace.Record{
+			Func: "cudaMemcpy", Class: trace.ClassTransfer,
+			Bytes: 32768 + 4096*i, Duplicate: true,
+			Hash: fleetDigest(0, uint64(i+1)),
+		})
+	}
+	for i := 0; i < 2; i++ {
+		add(trace.Record{
+			Func: "cudaMemcpyAsync", Class: trace.ClassTransfer,
+			Bytes: 4096, Hash: fleetDigest(uint64(rank+1), uint64(i)),
+		})
+	}
+	g := graph.New(0)
+	g.AddCPU(&graph.Node{Type: graph.CWait, OutCPU: simtime.Duration(1+rank%3) * simtime.Millisecond, Problem: graph.UnnecessarySync})
+	an := &ffm.Analysis{
+		App: "fleet-bench", ExecTime: run.ExecTime, Graph: g,
+		Overview: []graph.Group{
+			{Kind: graph.SinglePoint, Label: "cudaFree", Benefit: simtime.Duration(1+rank%5) * simtime.Millisecond},
+			{Kind: graph.SinglePoint, Label: []string{"sync0", "sync1", "sync2", "sync3"}[rank%4], Benefit: simtime.Duration(100+rank%7) * simtime.Microsecond},
+		},
+	}
+	return ffm.RankOutcome{
+		Rank: rank, Attempts: 1,
+		Report: &ffm.Report{
+			App:                "fleet-bench",
+			UninstrumentedTime: simtime.Duration(10+rank%16) * simtime.Millisecond,
+			Trace:              run,
+			Analysis:           an,
+		},
+	}
+}
+
+// fleetDigest builds a 16-hex-char digest: owner 0 for fleet-wide shared
+// content, owner rank+1 for content unique to a rank.
+func fleetDigest(owner, i uint64) string {
+	const hex = "0123456789abcdef"
+	var buf [16]byte
+	v := owner<<16 | i
+	for j := len(buf) - 1; j >= 0; j-- {
+		buf[j] = hex[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// benchFleet measures the streaming fleet reduction at a given world width.
+// Run with -benchmem and compare B/op across widths: the reduction's claim is
+// O(aggregate-state) memory, so allocated bytes per rank must stay flat as the
+// world grows (the CI gate pins 1024-rank bytes/rank within 1.5x of 64-rank).
+func benchFleet(b *testing.B, ranks int) {
+	b.ReportAllocs()
+	var fr *ffm.FleetReport
+	for i := 0; i < b.N; i++ {
+		eng := experiments.NewEngine(8)
+		var err error
+		fr, err = eng.FleetReduce("fleet-bench", ranks, fleetBenchOutcome)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Analyzed != ranks || len(fr.Duplicates) != 6 {
+			b.Fatalf("reduction lost data: analyzed=%d dups=%d", fr.Analyzed, len(fr.Duplicates))
+		}
+	}
+	b.ReportMetric(float64(len(fr.Duplicates)), "cross-rank-dups")
+	b.ReportMetric(float64(fr.Analyzed), "ranks-analyzed")
+}
+
+func BenchmarkFleet64(b *testing.B)   { benchFleet(b, 64) }
+func BenchmarkFleet256(b *testing.B)  { benchFleet(b, 256) }
+func BenchmarkFleet1024(b *testing.B) { benchFleet(b, 1024) }
+
 // --- Self-measurement layer ---------------------------------------------------
 
 // BenchmarkObsOverhead quantifies what the observability layer itself costs:

@@ -246,6 +246,11 @@ commands:
       -ranks n              world size (0 = the application's default)
       -scale f              workload scale (default 0.25)
       -json file            export the fleet report as JSON
+      -batch n              ranks folded per reduction task (0 = ~4 batches
+                            per worker); any value yields identical bytes
+      -spill-budget n       resident-partial byte budget before the reduction
+                            spills sealed partials to disk (0 = never spill)
+      -spill-dir dir        where spilled partials go (default: a temp dir)
   table1 [-scale f]         reproduce Table 1 (estimated vs actual benefit)
   table2 [app] [-scale f]   reproduce Table 2 (NVProf vs HPCToolkit vs Diogenes)
   overhead <app> [-scale f] show the §5.3 data-collection cost breakdown
@@ -275,6 +280,8 @@ commands:
                             every append; default 64)
       -ledger-flush d       provenance ledger flush interval (default 2s;
                             negative disables the timer)
+      -fleet-spill n        fleet-job resident-partial byte budget before
+                            spilling to a per-job temp dir (0 = never spill)
       -timeout d            default per-job execution cap
       -drain d              graceful-shutdown drain budget (default 30s)
   verify-ledger <dir>       audit a store directory against its provenance
@@ -609,6 +616,9 @@ func Fleet(w io.Writer, eng *experiments.Engine, args []string) error {
 	ranks := fs.Int("ranks", 0, "world size (0 = the application's default)")
 	scale := fs.Float64("scale", 0.25, "workload scale")
 	jsonPath := fs.String("json", "", "export the fleet report as JSON")
+	batch := fs.Int("batch", 0, "ranks folded per reduction task (0 = ~4 batches per worker)")
+	spillBudget := fs.Int64("spill-budget", 0, "resident-partial byte budget before spilling to disk (0 = never spill)")
+	spillDir := fs.String("spill-dir", "", "directory for spilled partials (default: a temp dir, removed afterwards)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -618,6 +628,9 @@ func Fleet(w io.Writer, eng *experiments.Engine, args []string) error {
 	if name == "" {
 		return fmt.Errorf("fleet: application name expected (see 'diogenes list')")
 	}
+	eng.FleetBatch = *batch
+	eng.FleetSpillBudget = *spillBudget
+	eng.FleetSpillDir = *spillDir
 	fr, err := eng.Fleet(name, *scale, *ranks)
 	if err != nil {
 		return err

@@ -37,6 +37,7 @@ func serveWithContext(ctx context.Context, w io.Writer, args []string) error {
 	ledgerBatch := fs.Int("ledger-batch", 0, "provenance ledger Merkle batch size (1 = seal every append; 0 = default 64)")
 	ledgerFlush := fs.Duration("ledger-flush", 0, "provenance ledger flush interval (0 = default 2s; negative disables the timer)")
 	cacheBudget := fs.Int64("cache-budget", 0, "in-memory report cache byte budget (0 = unbounded)")
+	fleetSpill := fs.Int64("fleet-spill", 0, "fleet-job resident-partial byte budget before spilling (0 = never spill)")
 	timeout := fs.Duration("timeout", 0, "default per-job execution cap (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	if err := fs.Parse(args); err != nil {
@@ -47,15 +48,16 @@ func serveWithContext(ctx context.Context, w io.Writer, args []string) error {
 	}
 
 	srv, err := serve.New(serve.Options{
-		Workers:        *workers,
-		QueueCapacity:  *queueCap,
-		EngineWorkers:  *engineWorkers,
-		DefaultTimeout: *timeout,
-		StoreDir:       *storeDir,
-		StoreBudget:    *storeBudget,
-		LedgerBatch:    *ledgerBatch,
-		LedgerFlush:    *ledgerFlush,
-		CacheBudget:    *cacheBudget,
+		Workers:          *workers,
+		QueueCapacity:    *queueCap,
+		EngineWorkers:    *engineWorkers,
+		DefaultTimeout:   *timeout,
+		StoreDir:         *storeDir,
+		StoreBudget:      *storeBudget,
+		LedgerBatch:      *ledgerBatch,
+		LedgerFlush:      *ledgerFlush,
+		CacheBudget:      *cacheBudget,
+		FleetSpillBudget: *fleetSpill,
 	})
 	if err != nil {
 		return err

@@ -158,8 +158,11 @@ func (c *ReportCache) SetMetrics(m *obs.Registry) {
 }
 
 // do returns the memoized value for key, computing it (and its retention
-// cost) at most once.
-func (c *ReportCache) do(key string, compute func() (any, int64, error)) (any, error) {
+// cost) at most once. hit reports whether this call found an existing
+// entry — the same event the hit counter records, decided atomically at
+// lookup, so concurrent callers get accurate per-call attribution (a
+// Stats() delta taken around the call could count a neighbor's hit).
+func (c *ReportCache) do(key string, compute func() (any, int64, error)) (v any, hit bool, err error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -178,7 +181,7 @@ func (c *ReportCache) do(key string, compute func() (any, int64, error)) (any, e
 		e.val, e.cost, e.err = compute()
 		c.charge(e)
 	})
-	return e.val, e.err
+	return e.val, ok, e.err
 }
 
 // charge publishes a freshly computed entry's cost and enforces the
@@ -225,7 +228,16 @@ func (c *ReportCache) evictLocked(keep *cacheEntry) {
 // Report memoizes a full pipeline report. Its retention cost is the
 // serialized report size.
 func (c *ReportCache) Report(key string, compute func() (*ffm.Report, error)) (*ffm.Report, error) {
-	v, err := c.do("report/"+key, func() (any, int64, error) {
+	rep, _, err := c.ReportHit(key, compute)
+	return rep, err
+}
+
+// ReportHit is Report with per-call hit attribution: hit is true when
+// this call was served by an existing entry (including one another
+// caller is still computing — the in-flight dedup means this call ran no
+// pipeline).
+func (c *ReportCache) ReportHit(key string, compute func() (*ffm.Report, error)) (*ffm.Report, bool, error) {
+	v, hit, err := c.do("report/"+key, func() (any, int64, error) {
 		rep, err := compute()
 		if err != nil {
 			return rep, 0, err
@@ -238,13 +250,13 @@ func (c *ReportCache) Report(key string, compute func() (*ffm.Report, error)) (*
 		return rep, size, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
 	rep, ok := v.(*ffm.Report)
 	if !ok {
-		return nil, fmt.Errorf("experiments: cache key %q holds %T, not a report", key, v)
+		return nil, hit, fmt.Errorf("experiments: cache key %q holds %T, not a report", key, v)
 	}
-	return rep, nil
+	return rep, hit, nil
 }
 
 // runtimeEntryCost is the nominal budget charge for a memoized duration —
@@ -253,7 +265,7 @@ const runtimeEntryCost = 64
 
 // Runtime memoizes an uninstrumented execution time.
 func (c *ReportCache) Runtime(key string, compute func() (simtime.Duration, error)) (simtime.Duration, error) {
-	v, err := c.do("runtime/"+key, func() (any, int64, error) {
+	v, _, err := c.do("runtime/"+key, func() (any, int64, error) {
 		d, err := compute()
 		return d, runtimeEntryCost, err
 	})

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"time"
 
 	"diogenes/internal/apps"
@@ -31,6 +32,13 @@ func FleetRankID(app string, rank, ranks int) string {
 // cross-rank duplicate transfers, per-problem benefit spread, and
 // collective-skew attribution from a whole-world reference run.
 //
+// Aggregation streams: each rank's outcome folds into a running
+// ffm.FleetAccumulator the moment the rank finishes, releasing the rank's
+// full report immediately, and partials over adjacent rank ranges merge
+// on the same worker pool — peak memory is O(aggregate state), not
+// O(ranks × report), and the assembled document is byte-identical at
+// every worker count and batch size.
+//
 // Fault containment: a rank whose pipeline fails (error or panic) is
 // retried once after a short backoff; if the retry also fails the rank is
 // recorded in the report's FailedRanks and the launch still succeeds with a
@@ -40,6 +48,14 @@ func FleetRankID(app string, rank, ranks int) string {
 // ranks 0 selects the application's default world size. Per-rank pipelines
 // are memoized through the engine's cache like every other engine run.
 func (e *Engine) Fleet(name string, scale float64, ranks int) (*ffm.FleetReport, error) {
+	return e.FleetCtx(context.Background(), name, scale, ranks)
+}
+
+// FleetCtx is Fleet under a caller-supplied context: cancellation stops
+// scheduling new rank pipelines and interrupts retry backoffs, so a
+// draining serve job releases its pool workers promptly. A canceled fleet
+// returns an error rather than a silently truncated report.
+func (e *Engine) FleetCtx(ctx context.Context, name string, scale float64, ranks int) (*ffm.FleetReport, error) {
 	spec, err := apps.ByName(name)
 	if err != nil {
 		return nil, err
@@ -60,7 +76,7 @@ func (e *Engine) Fleet(name string, scale float64, ranks int) (*ffm.FleetReport,
 		return CacheKey(FleetRankID(name, r, ranks), scale, apps.Original, cfg)
 	}
 	newProg := func(int) mpi.RankProgram { return spec.MPI.Program(scale, apps.Original) }
-	return e.fleet(name, newProg, mcfg, keyFor)
+	return e.fleet(ctx, name, newProg, mcfg, keyFor)
 }
 
 // FleetOver runs fleet analysis over an explicit rank program and launch
@@ -70,45 +86,163 @@ func (e *Engine) Fleet(name string, scale float64, ranks int) (*ffm.FleetReport,
 // inject faults into one rank's tool instance. It applies the same
 // containment policy as Fleet.
 func (e *Engine) FleetOver(app string, newProg func(observed int) mpi.RankProgram, mcfg mpi.Config) (*ffm.FleetReport, error) {
-	return e.fleet(app, newProg, mcfg, nil)
+	return e.fleet(context.Background(), app, newProg, mcfg, nil)
 }
 
-func (e *Engine) fleet(app string, newProg func(int) mpi.RankProgram, mcfg mpi.Config, keyFor func(int) (string, bool)) (*ffm.FleetReport, error) {
+// FleetReduce runs the streaming fleet reduction over caller-supplied
+// rank outcomes instead of live pipelines: outcome is invoked once per
+// rank (concurrently, in rank batches on the engine's pool) and its
+// result folds into the accumulator immediately. It is the entry point
+// for driving the reduction at widths where executing real pipelines is
+// beside the point — the scale benchmarks prove flat allocated-bytes-
+// per-rank with it — and for replaying recorded outcomes. No skew
+// reference run is performed.
+func (e *Engine) FleetReduce(app string, ranks int, outcome func(rank int) ffm.RankOutcome) (*ffm.FleetReport, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("experiments: fleet over %d ranks, need at least 1", ranks)
+	}
+	return e.fleetReduce(context.Background(), app, ranks,
+		func(_ context.Context, r int) ffm.RankOutcome { return outcome(r) }, nil)
+}
+
+func (e *Engine) fleet(ctx context.Context, app string, newProg func(int) mpi.RankProgram, mcfg mpi.Config, keyFor func(int) (string, bool)) (*ffm.FleetReport, error) {
 	if mcfg.Ranks < 1 {
 		return nil, fmt.Errorf("experiments: fleet over %d ranks, need at least 1", mcfg.Ranks)
 	}
+	return e.fleetReduce(ctx, app, mcfg.Ranks,
+		func(ctx context.Context, r int) ffm.RankOutcome {
+			return e.fleetRank(ctx, app, r, newProg, mcfg, keyFor)
+		},
+		// Whole-world reference run for the skew attribution, after every
+		// rank has folded. Its failure (the same fault the per-rank
+		// pipelines contained) degrades the report to skew-less rather
+		// than failing the launch.
+		func() *ffm.FleetSkew { return e.fleetSkew(newProg(mpi.NoObserved), mcfg) })
+}
+
+// fleetReduce is the shared streaming reduction: contiguous rank batches
+// run as pool tasks, each folding its ranks into one partial and offering
+// it to the accumulator, whose adjacent-range merges execute on the same
+// workers. skew, when non-nil, runs after the rank folds and rides along
+// on the assembled report.
+func (e *Engine) fleetReduce(ctx context.Context, app string, ranks int, outcome func(ctx context.Context, rank int) ffm.RankOutcome, skew func() *ffm.FleetSkew) (*ffm.FleetReport, error) {
 	pool, err := e.pool()
 	if err != nil {
 		return nil, err
 	}
-	outcomes := make([]ffm.RankOutcome, mcfg.Ranks)
-	tasks := make([]sched.Task, mcfg.Ranks)
-	for r := range tasks {
-		r := r
-		tasks[r] = sched.Task{
-			Name: fmt.Sprintf("fleet/%s/rank%d", app, r),
-			Fn: func(context.Context) error {
-				outcomes[r] = e.fleetRank(app, r, newProg, mcfg, keyFor)
-				// Containment: a failed rank degrades the report; it must
-				// never fail — or first-error-cancel — the launch.
-				return nil
-			},
-		}
-	}
-	if _, err := pool.Run(context.Background(), tasks...); err != nil {
+	spill, cleanup, err := e.fleetSpill()
+	if err != nil {
 		return nil, err
 	}
-	// Whole-world reference run for the skew attribution. Its failure
-	// (the same fault the per-rank pipelines contained) degrades the
-	// report to skew-less rather than failing the launch.
-	skew := e.fleetSkew(newProg(mpi.NoObserved), mcfg)
-	return ffm.AggregateFleet(app, mcfg.Ranks, outcomes, skew), nil
+	defer cleanup()
+	acc := ffm.NewFleetAccumulator(ranks, spill, e.FleetSpillBudget)
+	e.fleetAcc.Store(acc)
+	batch := e.fleetBatchSize(ranks, pool.Workers())
+	tasks := make([]sched.Task, 0, (ranks+batch-1)/batch)
+	for lo := 0; lo < ranks; lo += batch {
+		lo, hi := lo, lo+batch
+		if hi > ranks {
+			hi = ranks
+		}
+		tasks = append(tasks, sched.Task{
+			Name: fmt.Sprintf("fleet/%s/ranks%d-%d", app, lo, hi),
+			Fn: func(ctx context.Context) error {
+				// Containment: a failed rank degrades the report; it must
+				// never fail — or first-error-cancel — the launch. Only
+				// accumulator faults (spill I/O, broken adjacency) error.
+				var part *ffm.FleetPartial
+				for r := lo; r < hi; r++ {
+					leaf := ffm.FoldRankOutcome(outcome(ctx, r))
+					acc.RankDone()
+					merged, err := ffm.Merge(part, leaf)
+					if err != nil {
+						return err
+					}
+					part = merged
+				}
+				return acc.Offer(part)
+			},
+		})
+	}
+	if _, err := pool.Run(ctx, tasks...); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: fleet canceled: %w", err)
+	}
+	var sk *ffm.FleetSkew
+	if skew != nil {
+		sk = skew()
+	}
+	return acc.Finalize(app, sk)
+}
+
+// fleetBatchSize resolves how many contiguous ranks one reduction task
+// folds. The default keeps at least four batches per worker in flight so
+// small worlds still parallelize, while large worlds amortize task and
+// merge overhead; FleetBatch overrides it.
+func (e *Engine) fleetBatchSize(ranks, workers int) int {
+	b := e.FleetBatch
+	if b <= 0 {
+		if workers < 1 {
+			workers = 1
+		}
+		b = ranks / (workers * 4)
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > ranks {
+		b = ranks
+	}
+	return b
+}
+
+// fleetSpill builds the accumulator's spill store. Spilling only engages
+// when a byte budget is set; the directory defaults to a per-reduction
+// temp dir that cleanup removes.
+func (e *Engine) fleetSpill() (ffm.SpillStore, func(), error) {
+	nop := func() {}
+	if e.FleetSpillBudget <= 0 {
+		return nil, nop, nil
+	}
+	dir := e.FleetSpillDir
+	cleanup := nop
+	if dir == "" {
+		d, err := os.MkdirTemp("", "diogenes-fleet-spill-")
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: fleet spill: %w", err)
+		}
+		dir = d
+		cleanup = func() { os.RemoveAll(d) }
+	}
+	fs, err := ffm.NewFileSpill(dir)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return fs, cleanup, nil
+}
+
+// FleetProgress reports the live accumulator counters of the engine's
+// current (or most recent) fleet reduction: ranks folded, partial merges,
+// spill activity. ok is false before the first fleet run. The serving
+// layer polls it to stream fleet job progress.
+func (e *Engine) FleetProgress() (ffm.FleetProgress, bool) {
+	acc := e.fleetAcc.Load()
+	if acc == nil {
+		return ffm.FleetProgress{}, false
+	}
+	return acc.Progress(), true
 }
 
 // fleetRank runs one rank's pipeline with containment: panics become
 // errors, and a failed first attempt is retried once after FleetBackoff,
-// bypassing the cache (which memoizes the failure).
-func (e *Engine) fleetRank(app string, rank int, newProg func(int) mpi.RankProgram, mcfg mpi.Config, keyFor func(int) (string, bool)) ffm.RankOutcome {
+// bypassing the cache (which memoizes the failure). The backoff is
+// context-aware: a canceled fleet skips the retry instead of holding a
+// pool worker through the pause, and the outcome keeps the first
+// attempt's error.
+func (e *Engine) fleetRank(ctx context.Context, app string, rank int, newProg func(int) mpi.RankProgram, mcfg mpi.Config, keyFor func(int) (string, bool)) ffm.RankOutcome {
 	out := ffm.RankOutcome{Rank: rank}
 	span := e.Obs.Root().Child(rank, "rank", FleetRankID(app, rank, mcfg.Ranks))
 	defer span.End()
@@ -121,10 +255,11 @@ func (e *Engine) fleetRank(app string, rank int, newProg func(int) mpi.RankProgr
 	if e.Cache != nil && keyFor != nil {
 		if key, ok := keyFor(rank); ok {
 			attempt = func() (*ffm.Report, error) {
-				hits, _, _ := e.Cache.Stats()
-				rep, err := e.Cache.Report(key, run)
-				after, _, _ := e.Cache.Stats()
-				out.FromCache = err == nil && after > hits
+				// The cache reports the hit per call — concurrent ranks
+				// cannot misattribute each other's hits the way a global
+				// Stats() delta could.
+				rep, hit, err := e.Cache.ReportHit(key, run)
+				out.FromCache = err == nil && hit
 				return rep, err
 			}
 		}
@@ -132,10 +267,14 @@ func (e *Engine) fleetRank(app string, rank int, newProg func(int) mpi.RankProgr
 	rep, err := attempt()
 	out.Attempts = 1
 	if err != nil {
+		out.FromCache = false
+		if !sleepCtx(ctx, e.fleetBackoff()) {
+			out.Err = err.Error()
+			span.SetArg("failed", out.Err)
+			return out
+		}
 		out.Retried = true
 		out.Attempts = 2
-		out.FromCache = false
-		time.Sleep(e.fleetBackoff())
 		rep, err = run()
 	}
 	if err != nil {
@@ -145,6 +284,21 @@ func (e *Engine) fleetRank(app string, rank int, newProg func(int) mpi.RankProgr
 	}
 	out.Report = rep
 	return out
+}
+
+// sleepCtx pauses for d, returning false if ctx is canceled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // containedRun executes one rank pipeline, converting panics into errors.

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diogenes/internal/apps"
+	"diogenes/internal/ffm"
+	"diogenes/internal/mpi"
+	"diogenes/internal/proc"
+	"diogenes/internal/simtime"
+)
+
+// skewedConfig is the explicit launch config for the skewedRanks program
+// used by the at-scale determinism tests — cheap per rank, cross-rank
+// duplicate-free, but exercising the full fold/merge/skew machinery.
+func skewedConfig(ranks int) mpi.Config {
+	return mpi.Config{
+		Ranks:          ranks,
+		BarrierLatency: 25 * simtime.Microsecond,
+		Factory:        proc.DefaultFactory(),
+	}
+}
+
+// streamGolden asserts every (workers, batch, spill budget) combination
+// produces byte-identical fleet documents at the given width, and checks
+// them against a committed golden file.
+func streamGolden(t *testing.T, ranks int, goldenName string, configs []struct {
+	workers int
+	batch   int
+	budget  int64
+}) {
+	t.Helper()
+	var want []byte
+	for _, c := range configs {
+		eng := NewEngine(c.workers)
+		eng.FleetBatch = c.batch
+		eng.FleetSpillBudget = c.budget
+		newProg := func(int) mpi.RankProgram { return &skewedRanks{steps: 1} }
+		fr, err := eng.FleetOver("skewed-ranks", newProg, skewedConfig(ranks))
+		if err != nil {
+			t.Fatalf("workers=%d batch=%d budget=%d: %v", c.workers, c.batch, c.budget, err)
+		}
+		got := fleetJSON(t, fr)
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d batch=%d budget=%d: fleet report differs (%d vs %d bytes)",
+				c.workers, c.batch, c.budget, len(got), len(want))
+		}
+		p, ok := eng.FleetProgress()
+		if !ok || p.RanksDone != ranks || p.RanksTotal != ranks {
+			t.Fatalf("workers=%d: progress %+v ok=%v, want %d/%d", c.workers, p, ok, ranks, ranks)
+		}
+		if c.budget > 0 && c.budget < 1024 && p.Spills == 0 {
+			t.Fatalf("workers=%d budget=%d: reduction never spilled", c.workers, c.budget)
+		}
+	}
+
+	path := filepath.Join("testdata", goldenName)
+	if *updateGolden {
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(want, golden) {
+		t.Fatalf("fleet report diverged from golden %s (got %d bytes, want %d); rerun with -update if the change is intended",
+			path, len(want), len(golden))
+	}
+}
+
+// TestFleetStreamDeterministic64 is the width-invariance claim at 64
+// ranks: serial, 4-way and 8-way engines, unit and default batch sizes,
+// and a spill-everything budget all produce the same bytes.
+func TestFleetStreamDeterministic64(t *testing.T) {
+	streamGolden(t, 64, "fleet_stream64.golden.json", []struct {
+		workers int
+		batch   int
+		budget  int64
+	}{
+		{workers: 1},
+		{workers: 4},
+		{workers: 8},
+		{workers: 4, batch: 1},
+		{workers: 8, batch: 7},
+		{workers: 8, budget: 1},
+	})
+}
+
+// TestFleetStreamDeterministic256 repeats the claim at 256 ranks — wide
+// enough that the default batching produces a real merge tree — with a
+// spilling configuration in the mix.
+func TestFleetStreamDeterministic256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-rank world simulation in -short mode")
+	}
+	streamGolden(t, 256, "fleet_stream256.golden.json", []struct {
+		workers int
+		batch   int
+		budget  int64
+	}{
+		{workers: 1},
+		{workers: 8},
+		{workers: 8, batch: 5, budget: 1},
+	})
+}
+
+// TestFleetStreamFaultMidTree injects a failure into a rank in the middle
+// of the reduction tree and asserts the degraded report is byte-identical
+// at every parallelism degree: a failed leaf must not perturb the merge
+// order or the surviving aggregates.
+func TestFleetStreamFaultMidTree(t *testing.T) {
+	const ranks, bad = 64, 31
+	var want []byte
+	for _, workers := range []int{1, 4, 8} {
+		eng := NewEngine(workers)
+		eng.FleetBackoff = time.Nanosecond
+		// Pin stage-serial pipelines: the failed rank's error *string*
+		// depends on which goroutine recovers the panic (a stage worker
+		// reports "sched: task ... panicked"), which is orthogonal to the
+		// reduction determinism under test here.
+		eng.StageWorkers = 0
+		newProg := func(observed int) mpi.RankProgram {
+			prog := mpi.RankProgram(&skewedRanks{steps: 1})
+			if observed == bad {
+				return &faultyProg{RankProgram: prog, failRank: bad, panics: true}
+			}
+			return prog
+		}
+		fr, err := eng.FleetOver("skewed-ranks", newProg, skewedConfig(ranks))
+		if err != nil {
+			t.Fatalf("workers=%d: injected fault failed the launch: %v", workers, err)
+		}
+		if !fr.Partial || len(fr.FailedRanks) != 1 || fr.FailedRanks[0] != bad {
+			t.Fatalf("workers=%d: partial=%v failed=%v, want partial naming rank %d",
+				workers, fr.Partial, fr.FailedRanks, bad)
+		}
+		if fr.Analyzed != ranks-1 {
+			t.Fatalf("workers=%d: analyzed=%d, want %d", workers, fr.Analyzed, ranks-1)
+		}
+		got := fleetJSON(t, fr)
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: degraded fleet report not deterministic", workers)
+		}
+	}
+}
+
+// TestFleetCancelSkipsBackoff is the draining-job guarantee: a canceled
+// fleet does not hold a pool worker through the retry backoff. With a
+// 30-second backoff and a context canceled mid-run, the launch must
+// return promptly with a cancellation error.
+func TestFleetCancelSkipsBackoff(t *testing.T) {
+	spec := apps.Must("amg")
+	eng := NewEngine(2)
+	eng.FleetBackoff = 30 * time.Second
+	newProg := func(observed int) mpi.RankProgram {
+		prog := spec.MPI.Program(goldenScale, apps.Original)
+		if observed == 0 {
+			return &faultyProg{RankProgram: prog, failRank: 0}
+		}
+		return prog
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := eng.fleet(ctx, "amg", newProg, amgFleetConfig(2), nil)
+	if err == nil {
+		t.Fatal("canceled fleet returned a report")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled fleet held its worker %v — backoff not context-aware", elapsed)
+	}
+}
+
+// TestFleetReduceSynthetic drives the public reduction entry point over
+// fabricated outcomes — the benchmark path — and cross-checks it against
+// AggregateFleet.
+func TestFleetReduceSynthetic(t *testing.T) {
+	const ranks = 128
+	gen := func(rank int) ffm.RankOutcome {
+		return ffm.RankOutcome{Rank: rank, Err: fmt.Sprintf("r%d", rank), Attempts: 2, Retried: true}
+	}
+	eng := NewEngine(8)
+	fr, err := eng.FleetReduce("synthetic", ranks, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make([]ffm.RankOutcome, ranks)
+	for r := range outcomes {
+		outcomes[r] = gen(r)
+	}
+	want := ffm.AggregateFleet("synthetic", ranks, outcomes, nil)
+	if !bytes.Equal(fleetJSON(t, fr), fleetJSON(t, want)) {
+		t.Fatal("FleetReduce differs from AggregateFleet")
+	}
+	if len(fr.FailedRanks) != ranks {
+		t.Fatalf("failed ranks = %d, want %d", len(fr.FailedRanks), ranks)
+	}
+}
+
+// TestReportHitPerCallAttribution pins the FromCache fix: the hit flag is
+// decided per call at entry lookup, so under heavy concurrency exactly
+// one caller per key observes a miss — a Stats()-delta heuristic could
+// attribute a neighbor's hit to a missing caller.
+func TestReportHitPerCallAttribution(t *testing.T) {
+	c := NewReportCache()
+	const keys, callers = 4, 8
+	var wg sync.WaitGroup
+	var misses atomic.Int64
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%d", k)
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, hit, err := c.ReportHit(key, func() (*ffm.Report, error) {
+					return &ffm.Report{App: key}, nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+				if !hit {
+					misses.Add(1)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if misses.Load() != keys {
+		t.Fatalf("got %d misses across %d keys, want exactly one per key", misses.Load(), keys)
+	}
+}

@@ -3,11 +3,8 @@ package ffm
 import (
 	"encoding/json"
 	"io"
-	"sort"
 
-	"diogenes/internal/hashstore"
 	"diogenes/internal/simtime"
-	"diogenes/internal/trace"
 )
 
 // RankOutcome is one rank's pipeline outcome within a fleet analysis. The
@@ -135,137 +132,27 @@ type FleetReport struct {
 // problem groups are summed with min/max rank attribution, and the skew
 // account (when the whole-world reference run produced one) rides along.
 // outcomes must be indexed by rank.
+//
+// It is implemented as a sequential fold over the same FleetPartial
+// machinery the streaming reduction uses — one leaf per rank, absorbed in
+// rank order — so the collect-then-aggregate entry point and the
+// accumulator produce byte-identical documents by construction. Each
+// outcome's full Report is released as it is folded; the returned
+// report's PerRank entries carry the summaries only.
 func AggregateFleet(app string, ranks int, outcomes []RankOutcome, skew *FleetSkew) *FleetReport {
-	fr := &FleetReport{App: app, Ranks: ranks, PerRank: outcomes, Skew: skew}
+	var root *FleetPartial
 	for i := range outcomes {
-		o := &outcomes[i]
-		if o.Report == nil {
-			fr.Partial = true
-			fr.FailedRanks = append(fr.FailedRanks, o.Rank)
+		leaf := FoldRankOutcome(outcomes[i])
+		if root == nil {
+			root = leaf
 			continue
 		}
-		fr.Analyzed++
-		o.ExecTime = o.Report.UninstrumentedTime
-		if o.Report.Analysis != nil {
-			o.TotalBenefit = o.Report.Analysis.TotalBenefit()
-			o.Problems = len(o.Report.Analysis.Graph.ProblematicNodes())
-		}
+		root.absorb(leaf)
 	}
-	sort.Ints(fr.FailedRanks)
-	fr.Duplicates, fr.CrossRankDupBytes = crossRankDuplicates(outcomes)
-	fr.Problems = fleetProblems(outcomes)
-	return fr
-}
-
-// crossRankDuplicates scans every analyzed rank's resolved transfer hashes
-// and reports each digest seen on two or more ranks.
-func crossRankDuplicates(outcomes []RankOutcome) ([]FleetDuplicate, int64) {
-	type acc struct {
-		fn      string
-		ranks   []int
-		records int
-		bytes   int64
+	if root == nil {
+		root = &FleetPartial{}
 	}
-	byHash := make(map[string]*acc)
-	var order []string // first-appearance order for stable iteration
-	for i := range outcomes {
-		o := &outcomes[i]
-		if o.Report == nil || o.Report.Trace == nil {
-			continue
-		}
-		// Hashes are filled lazily by stage 3's resolver; force them
-		// before reading. Idempotent, and a no-op on decoded runs whose
-		// hashes are already strings.
-		o.Report.Trace.ResolveHashes()
-		for r := range o.Report.Trace.Records {
-			rec := &o.Report.Trace.Records[r]
-			if rec.Class != trace.ClassTransfer || !hashstore.ValidDigest(rec.Hash) {
-				continue
-			}
-			if rec.Duplicate {
-				o.Duplicates++
-			}
-			a := byHash[rec.Hash]
-			if a == nil {
-				a = &acc{fn: rec.Func}
-				byHash[rec.Hash] = a
-				order = append(order, rec.Hash)
-			}
-			if n := len(a.ranks); n == 0 || a.ranks[n-1] != o.Rank {
-				a.ranks = append(a.ranks, o.Rank)
-			}
-			a.records++
-			a.bytes += int64(rec.Bytes)
-		}
-	}
-	var out []FleetDuplicate
-	var totalBytes int64
-	for _, h := range order {
-		a := byHash[h]
-		if len(a.ranks) < 2 {
-			continue
-		}
-		out = append(out, FleetDuplicate{
-			Hash: h, Func: a.fn, Ranks: a.ranks, Records: a.records, Bytes: a.bytes,
-		})
-		totalBytes += a.bytes
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Bytes != out[j].Bytes {
-			return out[i].Bytes > out[j].Bytes
-		}
-		return out[i].Hash < out[j].Hash
-	})
-	return out, totalBytes
-}
-
-// fleetProblems merges the per-rank overview groups by (kind, label),
-// summing benefit and attributing the min and max to their ranks.
-func fleetProblems(outcomes []RankOutcome) []FleetProblem {
-	type key struct{ kind, label string }
-	byKey := make(map[key]*FleetProblem)
-	var order []key
-	for i := range outcomes {
-		o := &outcomes[i]
-		if o.Report == nil || o.Report.Analysis == nil {
-			continue
-		}
-		for _, grp := range o.Report.Analysis.Overview {
-			k := key{grp.Kind.String(), grp.Label}
-			fp := byKey[k]
-			if fp == nil {
-				fp = &FleetProblem{
-					Kind: k.kind, Label: k.label,
-					Min: grp.Benefit, Max: grp.Benefit,
-					MinRank: o.Rank, MaxRank: o.Rank,
-				}
-				byKey[k] = fp
-				order = append(order, k)
-			}
-			fp.Ranks = append(fp.Ranks, o.Rank)
-			fp.Total += grp.Benefit
-			if grp.Benefit < fp.Min {
-				fp.Min, fp.MinRank = grp.Benefit, o.Rank
-			}
-			if grp.Benefit > fp.Max {
-				fp.Max, fp.MaxRank = grp.Benefit, o.Rank
-			}
-		}
-	}
-	out := make([]FleetProblem, 0, len(order))
-	for _, k := range order {
-		out = append(out, *byKey[k])
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Total != out[j].Total {
-			return out[i].Total > out[j].Total
-		}
-		if out[i].Label != out[j].Label {
-			return out[i].Label < out[j].Label
-		}
-		return out[i].Kind < out[j].Kind
-	})
-	return out
+	return root.assemble(app, ranks, skew)
 }
 
 // TopProblem returns the highest-total aggregated problem, if any.

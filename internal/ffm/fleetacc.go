@@ -1,0 +1,570 @@
+package ffm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"diogenes/internal/hashstore"
+	"diogenes/internal/trace"
+)
+
+// This file is the streaming half of the fleet analysis: instead of
+// materializing every rank's full Report and aggregating at the end
+// (O(ranks × report) peak memory), each rank's outcome is folded into a
+// FleetPartial the moment the rank finishes — the full report is released
+// immediately — and partials over adjacent rank ranges merge pairwise
+// until one partial spans the whole world. The merge is associative and
+// keyed by rank range, never by completion order, so the assembled
+// FleetReport is byte-identical to the collect-then-aggregate output at
+// every worker count.
+
+// FleetPartial is the cross-rank aggregation state for one contiguous
+// range of ranks [Lo, Hi): per-rank outcome summaries (reports already
+// released), the duplicate-transfer merge keyed by payload digest, and
+// the per-problem benefit spread with min/max rank attribution. The
+// exported fields round-trip through JSON so a sealed partial can spill
+// to disk and be reloaded for its merge without loss.
+//
+// Dups deliberately keeps digests seen on only one rank: a digest that is
+// single-rank inside this range may become cross-rank when an adjacent
+// range carries it too. The single-rank leftovers are dropped only at
+// assembly time, exactly like AggregateFleet's final filter.
+type FleetPartial struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Analyzed counts ranks in the range that produced a report.
+	Analyzed int   `json:"analyzed"`
+	Failed   []int `json:"failed,omitempty"`
+	// Outcomes holds the range's per-rank summaries in rank order. The
+	// Report pointers are nil — folding strips them.
+	Outcomes []RankOutcome    `json:"outcomes"`
+	Dups     []FleetDuplicate `json:"dups,omitempty"`
+	Problems []FleetProblem   `json:"problems,omitempty"`
+
+	// Lookup indexes into Dups/Problems, maintained incrementally so
+	// absorbing a partial costs O(absorbed), not O(resident). Rebuilt on
+	// demand after a JSON round-trip.
+	dupIdx  map[string]int
+	probIdx map[problemKey]int
+}
+
+type problemKey struct{ kind, label string }
+
+func (p *FleetPartial) ensureIndex() {
+	if p.dupIdx == nil {
+		p.dupIdx = make(map[string]int, len(p.Dups))
+		for i := range p.Dups {
+			p.dupIdx[p.Dups[i].Hash] = i
+		}
+	}
+	if p.probIdx == nil {
+		p.probIdx = make(map[problemKey]int, len(p.Problems))
+		for i := range p.Problems {
+			p.probIdx[problemKey{p.Problems[i].Kind, p.Problems[i].Label}] = i
+		}
+	}
+}
+
+// FoldRankOutcome folds one rank's outcome into a single-rank partial,
+// filling the outcome's summary fields from its report (execution time,
+// total benefit, problem count, per-rank duplicate transfers) and then
+// releasing the report: the returned partial holds no reference to it, so
+// the rank's full pipeline state is collectable the moment the fold
+// returns. The per-record transfer scan keeps the historical filters
+// (transfer class, valid digest) and first-appearance ordering, and the
+// overview grouping keeps the historical (kind, label) keying and strict
+// min/max tie rules, so merging folds reproduces the pre-streaming
+// collect-then-aggregate output byte for byte.
+func FoldRankOutcome(o RankOutcome) *FleetPartial {
+	p := &FleetPartial{Lo: o.Rank, Hi: o.Rank + 1}
+	p.ensureIndex()
+	rep := o.Report
+	o.Report = nil
+	if rep == nil {
+		p.Failed = []int{o.Rank}
+		p.Outcomes = []RankOutcome{o}
+		return p
+	}
+	p.Analyzed = 1
+	o.ExecTime = rep.UninstrumentedTime
+	if rep.Analysis != nil {
+		o.TotalBenefit = rep.Analysis.TotalBenefit()
+		o.Problems = len(rep.Analysis.Graph.ProblematicNodes())
+	}
+	if rep.Trace != nil {
+		// Hashes are filled lazily by stage 3's resolver; force them
+		// before reading. Idempotent, and a no-op on decoded runs whose
+		// hashes are already strings.
+		rep.Trace.ResolveHashes()
+		for r := range rep.Trace.Records {
+			rec := &rep.Trace.Records[r]
+			if rec.Class != trace.ClassTransfer || !hashstore.ValidDigest(rec.Hash) {
+				continue
+			}
+			if rec.Duplicate {
+				o.Duplicates++
+			}
+			i, ok := p.dupIdx[rec.Hash]
+			if !ok {
+				i = len(p.Dups)
+				p.dupIdx[rec.Hash] = i
+				p.Dups = append(p.Dups, FleetDuplicate{Hash: rec.Hash, Func: rec.Func})
+			}
+			d := &p.Dups[i]
+			if n := len(d.Ranks); n == 0 || d.Ranks[n-1] != o.Rank {
+				d.Ranks = append(d.Ranks, o.Rank)
+			}
+			d.Records++
+			d.Bytes += int64(rec.Bytes)
+		}
+	}
+	if rep.Analysis != nil {
+		for _, grp := range rep.Analysis.Overview {
+			k := problemKey{grp.Kind.String(), grp.Label}
+			i, ok := p.probIdx[k]
+			if !ok {
+				i = len(p.Problems)
+				p.probIdx[k] = i
+				p.Problems = append(p.Problems, FleetProblem{
+					Kind: k.kind, Label: k.label,
+					Min: grp.Benefit, Max: grp.Benefit,
+					MinRank: o.Rank, MaxRank: o.Rank,
+				})
+			}
+			fp := &p.Problems[i]
+			fp.Ranks = append(fp.Ranks, o.Rank)
+			fp.Total += grp.Benefit
+			if grp.Benefit < fp.Min {
+				fp.Min, fp.MinRank = grp.Benefit, o.Rank
+			}
+			if grp.Benefit > fp.Max {
+				fp.Max, fp.MaxRank = grp.Benefit, o.Rank
+			}
+		}
+	}
+	p.Outcomes = []RankOutcome{o}
+	return p
+}
+
+// Merge folds b into a — a must cover the rank range immediately below
+// b's — and returns a. The merge is in place: a is extended, b must not
+// be used afterwards. Because every combination rule is associative and
+// ties resolve toward the lower rank range (Func from the first range
+// that saw the digest, Min/Max ties keeping the earlier rank), any merge
+// tree over adjacent ranges yields the same partial as folding ranks
+// 0..N-1 sequentially.
+func Merge(a, b *FleetPartial) (*FleetPartial, error) {
+	if a == nil {
+		return b, nil
+	}
+	if b == nil {
+		return a, nil
+	}
+	if a.Hi != b.Lo {
+		return nil, fmt.Errorf("ffm: cannot merge fleet partials [%d,%d) and [%d,%d): ranges not adjacent", a.Lo, a.Hi, b.Lo, b.Hi)
+	}
+	a.absorb(b)
+	return a, nil
+}
+
+// absorb extends a by b's state without range checking (Merge checks;
+// AggregateFleet feeds outcomes already in rank order).
+func (p *FleetPartial) absorb(q *FleetPartial) {
+	p.ensureIndex()
+	p.Hi = q.Hi
+	p.Analyzed += q.Analyzed
+	p.Failed = append(p.Failed, q.Failed...)
+	p.Outcomes = append(p.Outcomes, q.Outcomes...)
+	for _, d := range q.Dups {
+		if i, ok := p.dupIdx[d.Hash]; ok {
+			e := &p.Dups[i]
+			// Ranges are disjoint, so q's rank list never repeats p's
+			// trailing rank; plain concatenation keeps ascending order.
+			e.Ranks = append(e.Ranks, d.Ranks...)
+			e.Records += d.Records
+			e.Bytes += d.Bytes
+		} else {
+			p.dupIdx[d.Hash] = len(p.Dups)
+			p.Dups = append(p.Dups, d)
+		}
+	}
+	for _, fp := range q.Problems {
+		k := problemKey{fp.Kind, fp.Label}
+		if i, ok := p.probIdx[k]; ok {
+			e := &p.Problems[i]
+			e.Ranks = append(e.Ranks, fp.Ranks...)
+			e.Total += fp.Total
+			// Strict comparisons keep the lower range's attribution on
+			// ties, matching the ascending-rank iteration of the
+			// collect-then-aggregate path.
+			if fp.Min < e.Min {
+				e.Min, e.MinRank = fp.Min, fp.MinRank
+			}
+			if fp.Max > e.Max {
+				e.Max, e.MaxRank = fp.Max, fp.MaxRank
+			}
+		} else {
+			p.probIdx[k] = len(p.Problems)
+			p.Problems = append(p.Problems, fp)
+		}
+	}
+}
+
+// assemble builds the final fleet report from a fully merged partial:
+// drop digests that never crossed a rank boundary, then apply the total-
+// order sorts that make the document independent of merge shape.
+func (p *FleetPartial) assemble(app string, ranks int, skew *FleetSkew) *FleetReport {
+	fr := &FleetReport{App: app, Ranks: ranks, Analyzed: p.Analyzed, PerRank: p.Outcomes, Skew: skew}
+	fr.FailedRanks = append(fr.FailedRanks, p.Failed...)
+	sort.Ints(fr.FailedRanks)
+	fr.Partial = len(fr.FailedRanks) > 0
+	var dups []FleetDuplicate
+	for i := range p.Dups {
+		if len(p.Dups[i].Ranks) < 2 {
+			continue
+		}
+		dups = append(dups, p.Dups[i])
+		fr.CrossRankDupBytes += p.Dups[i].Bytes
+	}
+	sort.SliceStable(dups, func(i, j int) bool {
+		if dups[i].Bytes != dups[j].Bytes {
+			return dups[i].Bytes > dups[j].Bytes
+		}
+		return dups[i].Hash < dups[j].Hash
+	})
+	fr.Duplicates = dups
+	probs := make([]FleetProblem, 0, len(p.Problems))
+	probs = append(probs, p.Problems...)
+	sort.SliceStable(probs, func(i, j int) bool {
+		if probs[i].Total != probs[j].Total {
+			return probs[i].Total > probs[j].Total
+		}
+		if probs[i].Label != probs[j].Label {
+			return probs[i].Label < probs[j].Label
+		}
+		return probs[i].Kind < probs[j].Kind
+	})
+	fr.Problems = probs
+	return fr
+}
+
+// SpillStore persists sealed fleet partials outside the heap while they
+// wait for an adjacent neighbor. Unlike the serving layer's LRU report
+// store, a spill store must never evict: a spilled partial is live
+// reduction state, and losing one loses ranks. Implementations must be
+// safe for concurrent use.
+type SpillStore interface {
+	Put(key string, val []byte) error
+	// Get returns the spilled bytes for key.
+	Get(key string) ([]byte, error)
+	// Delete releases a spilled entry after it has been reloaded.
+	Delete(key string) error
+}
+
+// FileSpill is the file-per-partial SpillStore: one JSON document per
+// sealed partial under a directory. Keys are the accumulator's
+// "partial-<lo>-<hi>" names, so the on-disk layout is inspectable.
+type FileSpill struct{ dir string }
+
+// NewFileSpill opens (creating if needed) a spill directory.
+func NewFileSpill(dir string) (*FileSpill, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ffm: spill dir: %w", err)
+	}
+	return &FileSpill{dir: dir}, nil
+}
+
+func (s *FileSpill) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+func (s *FileSpill) Put(key string, val []byte) error {
+	return os.WriteFile(s.path(key), val, 0o644)
+}
+
+func (s *FileSpill) Get(key string) ([]byte, error) {
+	return os.ReadFile(s.path(key))
+}
+
+func (s *FileSpill) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// FleetProgress is a live snapshot of one fleet reduction: how many ranks
+// have folded, how the merge tree is progressing, and how much sealed
+// state has spilled to disk. The serving layer streams it on fleet job
+// views so a 1024-rank job reports per-rank progress instead of silence
+// until the end.
+type FleetProgress struct {
+	RanksDone    int   `json:"ranksDone"`
+	RanksTotal   int   `json:"ranksTotal"`
+	Merges       int   `json:"merges"`
+	Spills       int   `json:"spills"`
+	SpilledBytes int64 `json:"spilledBytes"`
+	// ResidentBytes is the estimated in-memory cost of partials parked
+	// waiting for an adjacent neighbor.
+	ResidentBytes int64 `json:"residentBytes"`
+}
+
+// FleetAccumulator is the concurrent fan-in point of the streaming fleet
+// reduction. Worker tasks offer partials over contiguous rank ranges in
+// whatever order they finish; the accumulator greedily merges each
+// offered partial with any parked neighbor covering the adjacent range
+// (merges run on the offering worker, outside the lock, so independent
+// regions of the rank space merge in parallel) and parks it otherwise.
+// When a byte budget is set, parked partials beyond it spill to the
+// SpillStore and are reloaded only when their neighbor arrives. Because
+// merging is adjacency-keyed and associative, the finalized report is
+// identical for every completion order, worker count, and spill schedule.
+type FleetAccumulator struct {
+	ranks  int
+	spill  SpillStore
+	budget int64
+
+	mu       sync.Mutex
+	pending  map[int]*parkedPartial // keyed by range start
+	byHi     map[int]int            // range end -> range start
+	resident int64                  // estimated bytes of in-memory parked partials
+
+	ranksDone    atomic.Int64
+	merges       atomic.Int64
+	spills       atomic.Int64
+	spilledBytes atomic.Int64
+}
+
+// parkedPartial is one waiting range: in memory (p != nil) or spilled
+// (p == nil, key addresses the spill store).
+type parkedPartial struct {
+	lo, hi int
+	p      *FleetPartial
+	key    string
+	cost   int64
+}
+
+// NewFleetAccumulator builds an accumulator for a world of the given
+// size. spill may be nil (never spill); budget <= 0 parks everything in
+// memory even when a store is present.
+func NewFleetAccumulator(ranks int, spill SpillStore, budget int64) *FleetAccumulator {
+	return &FleetAccumulator{
+		ranks:   ranks,
+		spill:   spill,
+		budget:  budget,
+		pending: make(map[int]*parkedPartial),
+		byHi:    make(map[int]int),
+	}
+}
+
+// RankDone ticks the per-rank progress counter; callers folding ranks
+// into a batch partial call it once per folded rank.
+func (a *FleetAccumulator) RankDone() { a.ranksDone.Add(1) }
+
+// Add folds one rank outcome and offers it — the single-rank convenience
+// over FoldRankOutcome + RankDone + Offer.
+func (a *FleetAccumulator) Add(o RankOutcome) error {
+	p := FoldRankOutcome(o)
+	a.RankDone()
+	return a.Offer(p)
+}
+
+// Offer hands a partial to the reduction. It repeatedly merges with any
+// parked adjacent neighbor (loading spilled neighbors back first) and
+// parks the result once no neighbor is waiting. Safe for concurrent use;
+// the actual merging runs outside the accumulator lock.
+func (a *FleetAccumulator) Offer(p *FleetPartial) error {
+	if p == nil {
+		return nil
+	}
+	for {
+		a.mu.Lock()
+		if lo, ok := a.byHi[p.Lo]; ok { // left neighbor ends where p begins
+			pk := a.takeLocked(lo)
+			a.mu.Unlock()
+			left, err := a.loadParked(pk)
+			if err != nil {
+				return err
+			}
+			merged, err := Merge(left, p)
+			if err != nil {
+				return err
+			}
+			a.merges.Add(1)
+			p = merged
+			continue
+		}
+		if _, ok := a.pending[p.Hi]; ok { // right neighbor begins where p ends
+			pk := a.takeLocked(p.Hi)
+			a.mu.Unlock()
+			right, err := a.loadParked(pk)
+			if err != nil {
+				return err
+			}
+			merged, err := Merge(p, right)
+			if err != nil {
+				return err
+			}
+			a.merges.Add(1)
+			p = merged
+			continue
+		}
+		a.parkLocked(p)
+		a.mu.Unlock()
+		return nil
+	}
+}
+
+// takeLocked removes and returns the parked range starting at lo.
+// a.mu must be held.
+func (a *FleetAccumulator) takeLocked(lo int) *parkedPartial {
+	pk := a.pending[lo]
+	delete(a.pending, lo)
+	delete(a.byHi, pk.hi)
+	if pk.p != nil {
+		a.resident -= pk.cost
+	}
+	return pk
+}
+
+// loadParked materializes a parked partial, reloading it from the spill
+// store when it was sealed to disk.
+func (a *FleetAccumulator) loadParked(pk *parkedPartial) (*FleetPartial, error) {
+	if pk.p != nil {
+		return pk.p, nil
+	}
+	data, err := a.spill.Get(pk.key)
+	if err != nil {
+		return nil, fmt.Errorf("ffm: reload spilled fleet partial %s: %w", pk.key, err)
+	}
+	if err := a.spill.Delete(pk.key); err != nil {
+		return nil, fmt.Errorf("ffm: release spilled fleet partial %s: %w", pk.key, err)
+	}
+	var p FleetPartial
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("ffm: decode spilled fleet partial %s: %w", pk.key, err)
+	}
+	return &p, nil
+}
+
+// parkLocked shelves a partial that has no waiting neighbor, spilling
+// parked state to disk while the resident estimate exceeds the budget.
+// A spill write failure degrades to keeping the partial in memory — the
+// budget is a target, correctness never depends on it. a.mu must be held.
+func (a *FleetAccumulator) parkLocked(p *FleetPartial) {
+	pk := &parkedPartial{lo: p.Lo, hi: p.Hi, p: p, cost: p.estimateCost()}
+	a.pending[pk.lo] = pk
+	a.byHi[pk.hi] = pk.lo
+	a.resident += pk.cost
+	if a.spill == nil || a.budget <= 0 {
+		return
+	}
+	for a.resident > a.budget {
+		victim := a.largestResidentLocked()
+		if victim == nil {
+			return
+		}
+		data, err := json.Marshal(victim.p)
+		if err != nil {
+			return
+		}
+		key := fmt.Sprintf("partial-%d-%d", victim.lo, victim.hi)
+		if err := a.spill.Put(key, data); err != nil {
+			return
+		}
+		victim.p = nil
+		victim.key = key
+		a.resident -= victim.cost
+		a.spills.Add(1)
+		a.spilledBytes.Add(int64(len(data)))
+	}
+}
+
+// largestResidentLocked picks the costliest in-memory parked partial (the
+// best spill candidate: fewest writes to get under budget). Ties go to
+// the lowest range start so the spill schedule is deterministic.
+func (a *FleetAccumulator) largestResidentLocked() *parkedPartial {
+	var victim *parkedPartial
+	for _, pk := range a.pending {
+		if pk.p == nil {
+			continue
+		}
+		if victim == nil || pk.cost > victim.cost || (pk.cost == victim.cost && pk.lo < victim.lo) {
+			victim = pk
+		}
+	}
+	return victim
+}
+
+// estimateCost approximates the partial's resident footprint for the
+// spill budget. It is an estimate — slice headers and map overhead are
+// charged at flat rates — because the budget bounds order of magnitude,
+// not bytes.
+func (p *FleetPartial) estimateCost() int64 {
+	c := int64(256)
+	c += int64(len(p.Failed)) * 8
+	for i := range p.Outcomes {
+		c += int64(96 + len(p.Outcomes[i].Err))
+	}
+	for i := range p.Dups {
+		c += int64(64 + len(p.Dups[i].Hash) + len(p.Dups[i].Func) + 8*len(p.Dups[i].Ranks))
+	}
+	for i := range p.Problems {
+		c += int64(96 + len(p.Problems[i].Kind) + len(p.Problems[i].Label) + 8*len(p.Problems[i].Ranks))
+	}
+	return c
+}
+
+// Progress snapshots the live counters. Safe to call concurrently with
+// Offer, including after Finalize.
+func (a *FleetAccumulator) Progress() FleetProgress {
+	a.mu.Lock()
+	resident := a.resident
+	a.mu.Unlock()
+	return FleetProgress{
+		RanksDone:     int(a.ranksDone.Load()),
+		RanksTotal:    a.ranks,
+		Merges:        int(a.merges.Load()),
+		Spills:        int(a.spills.Load()),
+		SpilledBytes:  a.spilledBytes.Load(),
+		ResidentBytes: resident,
+	}
+}
+
+// Finalize completes the reduction: exactly one partial spanning
+// [0, ranks) must be pending (every rank offered, every merge drained).
+// It assembles and returns the fleet report, releasing all accumulator
+// state. A canceled or faulted reduction that left gaps returns an error
+// naming the missing ranks instead of a silently truncated report.
+func (a *FleetAccumulator) Finalize(app string, skew *FleetSkew) (*FleetReport, error) {
+	a.mu.Lock()
+	if len(a.pending) != 1 {
+		covered := make([]string, 0, len(a.pending))
+		for lo, pk := range a.pending {
+			covered = append(covered, fmt.Sprintf("[%d,%d)", lo, pk.hi))
+		}
+		sort.Strings(covered)
+		a.mu.Unlock()
+		return nil, fmt.Errorf("ffm: fleet reduction incomplete: %d disjoint partials pending (%v), expected one spanning [0,%d)", len(a.pending), covered, a.ranks)
+	}
+	pk, ok := a.pending[0]
+	if !ok || pk.hi != a.ranks {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("ffm: fleet reduction incomplete: pending partial does not span [0,%d)", a.ranks)
+	}
+	delete(a.pending, 0)
+	delete(a.byHi, pk.hi)
+	if pk.p != nil {
+		a.resident -= pk.cost
+	}
+	a.mu.Unlock()
+	p, err := a.loadParked(pk)
+	if err != nil {
+		return nil, err
+	}
+	return p.assemble(app, a.ranks, skew), nil
+}

@@ -61,7 +61,7 @@ func (s *Server) taskFn(j *Job, eng *experiments.Engine) func(context.Context) e
 		started := time.Now()
 		ch := make(chan outcome, 1)
 		go func() {
-			doc, persist, err := s.runJob(eng, j.Req)
+			doc, persist, err := s.runJob(ctx, eng, j.Req)
 			ch <- outcome{doc, persist, err}
 		}()
 		select {
@@ -106,8 +106,11 @@ func (s *Server) taskFn(j *Job, eng *experiments.Engine) func(context.Context) e
 // document. persist reports whether the document may enter the persistent
 // store; a degraded result (partial fleet report) is served but not
 // stored, so a later identical request re-runs instead of replaying the
-// degradation.
-func (s *Server) runJob(eng *experiments.Engine, req Request) (data []byte, persist bool, err error) {
+// degradation. ctx is the job's cancellation context; the fleet kind
+// honors it mid-run (canceled retries release their pool workers
+// immediately), the short-lived kinds finish and have their result
+// discarded by the caller.
+func (s *Server) runJob(ctx context.Context, eng *experiments.Engine, req Request) (data []byte, persist bool, err error) {
 	doc := ResultDoc{Kind: req.Kind, App: req.App, Apps: req.Apps, Ranks: req.Ranks, Scale: req.Scale}
 	persist = true
 	var text bytes.Buffer
@@ -161,7 +164,7 @@ func (s *Server) runJob(eng *experiments.Engine, req Request) (data []byte, pers
 			return nil, false, err
 		}
 	case KindFleet:
-		fr, err := eng.Fleet(req.App, req.Scale, req.Ranks)
+		fr, err := eng.FleetCtx(ctx, req.App, req.Scale, req.Ranks)
 		if err != nil {
 			return nil, false, err
 		}

@@ -78,7 +78,7 @@ func TestFleetJobValidation(t *testing.T) {
 		{"unknown app", `{"kind":"fleet","app":"nope"}`},
 		{"single-process app", `{"kind":"fleet","app":"cumf_als"}`},
 		{"negative ranks", `{"kind":"fleet","app":"amg","ranks":-1}`},
-		{"oversized world", `{"kind":"fleet","app":"amg","ranks":65}`},
+		{"oversized world", `{"kind":"fleet","app":"amg","ranks":1025}`},
 		{"apps list", `{"kind":"fleet","app":"amg","apps":["amg"]}`},
 		{"ranks on run kind", `{"kind":"run","app":"amg","ranks":4}`},
 	} {

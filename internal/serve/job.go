@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"diogenes/internal/apps"
+	"diogenes/internal/ffm"
 	"diogenes/internal/obs"
 )
 
@@ -22,9 +23,11 @@ const (
 	KindAutofix = "autofix" // automatic-correction verification table
 )
 
-// maxFleetRanks bounds a fleet request's world size — a fleet job runs one
-// full pipeline per rank, so this caps a single submission's cost.
-const maxFleetRanks = 64
+// maxFleetRanks bounds a fleet request's world size. Aggregation streams
+// in O(aggregate) memory, so the bound only caps a single submission's
+// compute cost (one full pipeline per rank), which the job timeout
+// already polices per deployment.
+const maxFleetRanks = 1024
 
 // Request is one analysis submission.
 type Request struct {
@@ -172,6 +175,9 @@ type Job struct {
 	cancelFn context.CancelFunc
 	timeout  time.Duration
 	storeKey string
+	// fleetProgress, set for fleet jobs, reads the engine's live
+	// accumulator counters so views stream per-rank reduction progress.
+	fleetProgress func() (ffm.FleetProgress, bool)
 
 	mu        sync.Mutex
 	state     State
@@ -300,6 +306,13 @@ type View struct {
 	SpansEnded  int    `json:"spansEnded"`
 	CurrentSpan string `json:"currentSpan,omitempty"`
 
+	// Fleet is the streaming-reduction progress of a fleet job: ranks
+	// folded so far, partial merges, and spill activity, straight from
+	// the accumulator counters — live while the job runs, final
+	// afterwards. Absent for other kinds and for store-served fleet jobs
+	// (no reduction ran).
+	Fleet *ffm.FleetProgress `json:"fleet,omitempty"`
+
 	CreatedAt  string `json:"createdAt,omitempty"`
 	StartedAt  string `json:"startedAt,omitempty"`
 	FinishedAt string `json:"finishedAt,omitempty"`
@@ -329,6 +342,11 @@ func (j *Job) View() View {
 		CurrentSpan: current,
 
 		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if j.fleetProgress != nil {
+		if p, ok := j.fleetProgress(); ok {
+			v.Fleet = &p
+		}
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)

@@ -82,6 +82,10 @@ type Options struct {
 	// RetainJobs bounds how many finished job records the manager keeps
 	// for status queries; 0 selects 1024. Live jobs are never dropped.
 	RetainJobs int
+	// FleetSpillBudget caps the estimated resident bytes of each fleet
+	// job's parked reduction partials; beyond it sealed partials spill to
+	// a per-job temp directory. 0 never spills.
+	FleetSpillBudget int64
 }
 
 // Sentinel errors Submit maps to HTTP statuses.
@@ -239,6 +243,11 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		timeout = s.opts.DefaultTimeout
 	}
 	j := newJob(req, jobObs, key, timeout)
+	if req.Kind == KindFleet {
+		// Fleet jobs stream reduction progress straight from the
+		// engine's accumulator counters.
+		j.fleetProgress = eng.FleetProgress
+	}
 
 	if key != "" && s.store != nil && !req.Fresh {
 		if data, err := s.store.Get(key); err == nil {
@@ -351,7 +360,8 @@ func (s *Server) engineFor(req *Request, o *obs.Observer) *experiments.Engine {
 	if req.Fresh {
 		cache = nil
 	}
-	e := &experiments.Engine{Workers: w, Cache: cache, Obs: o}
+	e := &experiments.Engine{Workers: w, Cache: cache, Obs: o,
+		FleetSpillBudget: s.opts.FleetSpillBudget}
 	if w > 1 {
 		e.StageWorkers = 2
 	}

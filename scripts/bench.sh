@@ -17,7 +17,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-Figure5Algorithm|Figure6$|Figure8|GraphBuild|FullPipelineRodinia|HashStoreInsert|FleetAMG4|LedgerAppend}"
+PATTERN="${1:-Figure5Algorithm|Figure6$|Figure8|GraphBuild|FullPipelineRodinia|HashStoreInsert|FleetAMG4|Fleet64$|Fleet256$|Fleet1024$|LedgerAppend}"
 COUNT="${BENCH_COUNT:-3}"
 DATE="${BENCH_DATE:-$(date +%F)}"
 OUT="BENCH_${DATE}.json"
