@@ -110,8 +110,47 @@ func (o *Observer) Empty() bool {
 // Trace is a tree of spans guarded by one mutex, so spans may be created
 // and annotated from concurrently executing pipeline stages.
 type Trace struct {
-	mu   sync.Mutex
-	root *Span
+	mu       sync.Mutex
+	root     *Span
+	watchers []chan struct{}
+}
+
+// Watch subscribes to trace changes: the returned channel receives a
+// signal whenever a span is created or ended. Signals are coalesced — the
+// channel holds at most one pending signal, so a receiver that falls
+// behind sees "something changed since my last look", not every
+// individual event. This is what a live progress streamer needs: wake up,
+// snapshot Progress(), go back to sleep. cancel unsubscribes; it is
+// idempotent. Watch on a nil trace returns a nil channel (which blocks
+// forever) and a no-op cancel, so un-observed pipelines cost nothing.
+func (t *Trace) Watch() (ch <-chan struct{}, cancel func()) {
+	if t == nil {
+		return nil, func() {}
+	}
+	c := make(chan struct{}, 1)
+	t.mu.Lock()
+	t.watchers = append(t.watchers, c)
+	t.mu.Unlock()
+	return c, func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		for i, w := range t.watchers {
+			if w == c {
+				t.watchers = append(t.watchers[:i], t.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// notifyLocked signals every watcher without blocking; t.mu must be held.
+func (t *Trace) notifyLocked() {
+	for _, w := range t.watchers {
+		select {
+		case w <- struct{}{}:
+		default: // a signal is already pending; coalesce
+		}
+	}
 }
 
 // NewTrace returns a trace whose root span carries the given name.
@@ -170,6 +209,7 @@ func (s *Span) Child(order int, cat, name string) *Span {
 	c := &Span{t: s.t, name: name, cat: cat, order: order, wallStart: time.Now()}
 	s.t.mu.Lock()
 	s.children = append(s.children, c)
+	s.t.notifyLocked()
 	s.t.mu.Unlock()
 	return c
 }
@@ -183,6 +223,7 @@ func (s *Span) End() {
 	s.t.mu.Lock()
 	if s.wall == 0 {
 		s.wall = time.Since(s.wallStart)
+		s.t.notifyLocked()
 	}
 	s.t.mu.Unlock()
 }

@@ -374,3 +374,52 @@ func TestStageNames(t *testing.T) {
 		}
 	}
 }
+
+func TestTraceWatch(t *testing.T) {
+	var nilTrace *Trace
+	ch, cancel := nilTrace.Watch()
+	if ch != nil {
+		t.Fatal("nil trace returned a live watch channel")
+	}
+	cancel() // must be a no-op
+
+	tr := NewTrace("root")
+	ch, cancel = tr.Watch()
+	defer cancel()
+	select {
+	case <-ch:
+		t.Fatal("signal before any change")
+	default:
+	}
+	s := tr.Root().Child(0, "t", "work")
+	select {
+	case <-ch:
+	default:
+		t.Fatal("span creation did not signal the watcher")
+	}
+	// Signals coalesce: many changes while the receiver sleeps leave at
+	// most one pending signal.
+	for i := 0; i < 5; i++ {
+		s.Child(i, "t", "sub").End()
+	}
+	<-ch
+	select {
+	case <-ch:
+		t.Fatal("signals did not coalesce")
+	default:
+	}
+	s.End()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("span end did not signal the watcher")
+	}
+	cancel()
+	cancel() // idempotent
+	tr.Root().Child(1, "t", "after")
+	select {
+	case <-ch:
+		t.Fatal("canceled watcher still signaled")
+	default:
+	}
+}

@@ -4,10 +4,36 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diogenes/internal/obs"
 )
+
+// Class is a task's admission class. The queue holds one bounded budget
+// shared by both classes — admission and backpressure are identical —
+// but workers always drain interactive tasks before batch tasks, so a
+// short interactive job submitted behind a deep batch backlog starts as
+// soon as a worker frees instead of waiting out the bulk work.
+type Class int
+
+const (
+	// ClassInteractive is the low-latency class: dequeued ahead of any
+	// queued batch work. The zero value, so callers that never think
+	// about classes get the responsive behavior.
+	ClassInteractive Class = iota
+	// ClassBatch is the bulk class: dequeued only when no interactive
+	// task is waiting.
+	ClassBatch
+)
+
+// String names the class for task labels and metrics.
+func (c Class) String() string {
+	if c == ClassBatch {
+		return "batch"
+	}
+	return "interactive"
+}
 
 // Queue is the serving counterpart to Pool's batch Run: a long-lived
 // bounded task queue draining into a fixed worker set. Pool answers "run
@@ -21,10 +47,24 @@ import (
 // without bound. An accepted task is never dropped: it runs even if the
 // queue is closed immediately afterwards, with the same panic containment
 // as Pool, and Close blocks until the last accepted task has finished.
+//
+// Tasks carry a Class; the two classes share the single capacity budget
+// (total accepted-but-not-started tasks never exceeds it) but interactive
+// tasks preempt queued batch tasks at dequeue time.
 type Queue struct {
-	tasks   chan Task
-	workers int
-	wg      sync.WaitGroup
+	interactive chan Task
+	batch       chan Task
+	capacity    int
+	workers     int
+	wg          sync.WaitGroup
+
+	// pending counts accepted tasks not yet picked up by a worker —
+	// the queue depth. An atomic add on enqueue and sub on dequeue keeps
+	// the count (and the gauge fed from it) transactional: the former
+	// len(chan)-snapshot scheme let a worker's post-dequeue snapshot
+	// overwrite a newer value published by a concurrent TryEnqueue,
+	// leaving the gauge stale until the next event.
+	pending atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -37,13 +77,19 @@ type Queue struct {
 	rejected *obs.Counter
 	finished *obs.Counter
 	taskWall *obs.Histogram
+
+	// hookDequeued, when non-nil, is called by a worker after the dequeue
+	// accounting and before the task runs — a test seam for freezing the
+	// queue at a known depth.
+	hookDequeued func(Task)
 }
 
 // NewQueue returns a started queue running at most workers tasks
-// concurrently and holding at most capacity not-yet-started tasks.
-// workers follows New's convention (0 selects GOMAXPROCS); capacity must
-// be at least 1. The optional registry receives the queue's telemetry:
-// sched/jobqueue_depth, sched/jobqueue_depth_peak, sched/jobqueue_accepted,
+// concurrently and holding at most capacity not-yet-started tasks across
+// both admission classes. workers follows New's convention (0 selects
+// GOMAXPROCS); capacity must be at least 1. The optional registry
+// receives the queue's telemetry: sched/jobqueue_depth,
+// sched/jobqueue_depth_peak, sched/jobqueue_accepted,
 // sched/jobqueue_rejected, sched/jobqueue_finished and the per-task
 // sched/jobqueue_task_wall_ns histogram.
 func NewQueue(workers, capacity int, m *obs.Registry) (*Queue, error) {
@@ -58,14 +104,19 @@ func NewQueue(workers, capacity int, m *obs.Registry) (*Queue, error) {
 		return nil, fmt.Errorf("sched: queue capacity %d, need at least 1", capacity)
 	}
 	q := &Queue{
-		tasks:    make(chan Task, capacity),
-		workers:  workers,
-		depth:    m.Gauge("sched/jobqueue_depth"),
-		peak:     m.Gauge("sched/jobqueue_depth_peak"),
-		accepted: m.Counter("sched/jobqueue_accepted"),
-		rejected: m.Counter("sched/jobqueue_rejected"),
-		finished: m.Counter("sched/jobqueue_finished"),
-		taskWall: m.Histogram("sched/jobqueue_task_wall_ns"),
+		// Each class channel is sized to the full budget so that a send
+		// under the admission check can never block, even when every
+		// pending task belongs to one class.
+		interactive: make(chan Task, capacity),
+		batch:       make(chan Task, capacity),
+		capacity:    capacity,
+		workers:     workers,
+		depth:       m.Gauge("sched/jobqueue_depth"),
+		peak:        m.Gauge("sched/jobqueue_depth_peak"),
+		accepted:    m.Counter("sched/jobqueue_accepted"),
+		rejected:    m.Counter("sched/jobqueue_rejected"),
+		finished:    m.Counter("sched/jobqueue_finished"),
+		taskWall:    m.Histogram("sched/jobqueue_task_wall_ns"),
 	}
 	for w := 0; w < workers; w++ {
 		q.wg.Add(1)
@@ -74,11 +125,48 @@ func NewQueue(workers, capacity int, m *obs.Registry) (*Queue, error) {
 	return q, nil
 }
 
-// worker drains the task channel until it is closed.
+// worker drains both class channels until they are closed, always
+// preferring a waiting interactive task over a waiting batch task.
 func (q *Queue) worker() {
 	defer q.wg.Done()
-	for t := range q.tasks {
-		q.depth.Set(float64(len(q.tasks)))
+	interactive, batch := q.interactive, q.batch
+	for interactive != nil || batch != nil {
+		var t Task
+		got := false
+		// Interactive tasks win whenever one is already waiting; the
+		// blocking select below is reached only with no interactive
+		// backlog.
+		if interactive != nil {
+			select {
+			case it, ok := <-interactive:
+				if !ok {
+					interactive = nil
+					continue
+				}
+				t, got = it, true
+			default:
+			}
+		}
+		if !got {
+			select {
+			case it, ok := <-interactive:
+				if !ok {
+					interactive = nil
+					continue
+				}
+				t = it
+			case bt, ok := <-batch:
+				if !ok {
+					batch = nil
+					continue
+				}
+				t = bt
+			}
+		}
+		q.depth.Set(float64(q.pending.Add(-1)))
+		if h := q.hookDequeued; h != nil {
+			h(t)
+		}
 		start := time.Now()
 		// Errors and panics are the task's own business — a serving
 		// queue has no batch result slice to report them in, so tasks
@@ -91,9 +179,10 @@ func (q *Queue) worker() {
 	}
 }
 
-// TryEnqueue offers a task to the queue. It returns false — the
-// backpressure signal — when the backlog is full or the queue is closed;
-// true means the task was accepted and will run.
+// TryEnqueue offers a task to the queue under its Class. It returns
+// false — the backpressure signal — when the shared backlog budget is
+// full or the queue is closed; true means the task was accepted and will
+// run.
 func (q *Queue) TryEnqueue(t Task) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -101,25 +190,32 @@ func (q *Queue) TryEnqueue(t Task) bool {
 		q.rejected.Inc()
 		return false
 	}
-	select {
-	case q.tasks <- t:
-		q.accepted.Inc()
-		d := float64(len(q.tasks))
-		q.depth.Set(d)
-		q.peak.SetMax(d)
-		return true
-	default:
+	// Admission is on the combined pending count: workers only ever
+	// decrease it, and enqueuers serialize on q.mu, so the check-then-add
+	// can never admit past capacity (at worst it rejects a request whose
+	// slot freed a moment later — the conservative direction).
+	if int(q.pending.Load()) >= q.capacity {
 		q.rejected.Inc()
 		return false
 	}
+	ch := q.interactive
+	if t.Class == ClassBatch {
+		ch = q.batch
+	}
+	ch <- t // never blocks: each class channel holds the full budget
+	d := float64(q.pending.Add(1))
+	q.depth.Set(d)
+	q.peak.SetMax(d)
+	q.accepted.Inc()
+	return true
 }
 
 // Depth returns the number of accepted tasks not yet picked up by a
-// worker.
-func (q *Queue) Depth() int { return len(q.tasks) }
+// worker, across both classes.
+func (q *Queue) Depth() int { return int(q.pending.Load()) }
 
-// Capacity returns the backlog bound.
-func (q *Queue) Capacity() int { return cap(q.tasks) }
+// Capacity returns the backlog bound shared by both classes.
+func (q *Queue) Capacity() int { return q.capacity }
 
 // Workers returns the resolved worker count (after the 0 → GOMAXPROCS
 // default).
@@ -132,7 +228,8 @@ func (q *Queue) Close() {
 	q.mu.Lock()
 	if !q.closed {
 		q.closed = true
-		close(q.tasks)
+		close(q.interactive)
+		close(q.batch)
 	}
 	q.mu.Unlock()
 	q.wg.Wait()

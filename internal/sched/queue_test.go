@@ -141,3 +141,198 @@ func TestQueueRejectsBadConfig(t *testing.T) {
 		t.Fatal("zero capacity accepted")
 	}
 }
+
+// TestQueueInteractivePreemptsQueuedBatch pins the admission-class
+// contract: an interactive task submitted behind a full batch backlog is
+// dequeued before any queued batch task.
+func TestQueueInteractivePreemptsQueuedBatch(t *testing.T) {
+	q, err := NewQueue(1, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if !q.TryEnqueue(Task{Name: "block", Class: ClassBatch, Fn: func(context.Context) error {
+		close(started)
+		<-gate
+		return nil
+	}}) {
+		t.Fatal("blocker rejected")
+	}
+	<-started // the single worker is now pinned; everything below queues
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) Task {
+		class := ClassBatch
+		if name[0] == 'i' {
+			class = ClassInteractive
+		}
+		return Task{Name: name, Class: class, Fn: func(context.Context) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	for _, name := range []string{"b1", "b2", "b3"} {
+		if !q.TryEnqueue(record(name)) {
+			t.Fatalf("batch task %s rejected", name)
+		}
+	}
+	// The interactive task arrives last, behind three queued batch tasks.
+	if !q.TryEnqueue(record("i1")) {
+		t.Fatal("interactive task rejected")
+	}
+	close(gate)
+	q.Close()
+
+	if len(order) != 4 {
+		t.Fatalf("ran %d tasks, want 4 (%v)", len(order), order)
+	}
+	if order[0] != "i1" {
+		t.Fatalf("dequeue order %v: interactive task must run before queued batch tasks", order)
+	}
+}
+
+// TestQueueClassesShareOneBudget pins the backpressure contract across
+// classes: the capacity bound is on total accepted tasks, not per class,
+// so neither class can buffer past it.
+func TestQueueClassesShareOneBudget(t *testing.T) {
+	m := obs.NewRegistry()
+	q, err := NewQueue(1, 3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if !q.TryEnqueue(Task{Name: "block", Class: ClassBatch, Fn: func(context.Context) error {
+		close(started)
+		<-gate
+		return nil
+	}}) {
+		t.Fatal("blocker rejected")
+	}
+	<-started
+	// 2 batch + 1 interactive fill the shared budget of 3...
+	for i, cl := range []Class{ClassBatch, ClassBatch, ClassInteractive} {
+		if !q.TryEnqueue(Task{Name: "fill", Class: cl, Fn: func(context.Context) error { return nil }}) {
+			t.Fatalf("task %d rejected with free budget", i)
+		}
+	}
+	if got := q.Depth(); got != 3 {
+		t.Fatalf("depth = %d, want 3", got)
+	}
+	// ...and now BOTH classes must be refused: the budget is shared.
+	if q.TryEnqueue(Task{Name: "over-i", Class: ClassInteractive, Fn: func(context.Context) error { return nil }}) {
+		t.Fatal("interactive task accepted past the shared budget")
+	}
+	if q.TryEnqueue(Task{Name: "over-b", Class: ClassBatch, Fn: func(context.Context) error { return nil }}) {
+		t.Fatal("batch task accepted past the shared budget")
+	}
+	close(gate)
+	q.Close()
+	if got := m.Counter("sched/jobqueue_accepted").Value(); got != 4 {
+		t.Fatalf("accepted = %d, want 4", got)
+	}
+	if got := m.Counter("sched/jobqueue_rejected").Value(); got != 2 {
+		t.Fatalf("rejected = %d, want 2", got)
+	}
+}
+
+// TestQueueDepthGaugeTransactional is the regression test for the depth
+// gauge race: the gauge used to be recomputed from len(chan) snapshots on
+// both sides, so a worker's post-dequeue snapshot could overwrite a newer
+// value published by a concurrent TryEnqueue and leave the gauge stale.
+// With atomic add/sub accounting the gauge is exact at every quiescent
+// point. The hook freezes the worker after its dequeue accounting so the
+// test can interleave an enqueue at precisely the historical race window.
+func TestQueueDepthGaugeTransactional(t *testing.T) {
+	m := obs.NewRegistry()
+	q, err := NewQueue(1, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := m.Gauge("sched/jobqueue_depth")
+	dequeued := make(chan struct{})
+	release := make(chan struct{})
+	q.hookDequeued = func(Task) {
+		dequeued <- struct{}{}
+		<-release
+	}
+	noop := func(context.Context) error { return nil }
+
+	if !q.TryEnqueue(Task{Name: "t1", Fn: noop}) {
+		t.Fatal("t1 rejected")
+	}
+	<-dequeued // worker took t1 and has already accounted the dequeue
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("gauge after dequeue accounting = %v, want 0", got)
+	}
+	// The race window: an enqueue lands while the worker sits between its
+	// dequeue accounting and the task body. The gauge must show the new
+	// task immediately and must NOT be clobbered back when the worker
+	// resumes (the snapshot scheme's failure mode).
+	if !q.TryEnqueue(Task{Name: "t2", Fn: noop}) {
+		t.Fatal("t2 rejected")
+	}
+	if got := depth.Value(); got != 1 {
+		t.Fatalf("gauge with one queued task = %v, want 1", got)
+	}
+	release <- struct{}{} // t1 runs
+	<-dequeued            // worker took t2
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("gauge after draining = %v, want 0", got)
+	}
+	close(release) // t2 runs; the hook has no more tasks to freeze
+	q.Close()
+	if got := depth.Value(); got != 0 {
+		t.Fatalf("gauge after Close = %v, want 0", got)
+	}
+	if got := m.Gauge("sched/jobqueue_depth_peak").Value(); got != 1 {
+		t.Fatalf("peak gauge = %v, want 1", got)
+	}
+}
+
+// TestQueueDepthGaugeUnderConcurrency hammers both sides and checks the
+// transactional invariant at the end: after Close has drained everything,
+// the pending counter and the gauge are exactly zero and the peak never
+// exceeded capacity.
+func TestQueueDepthGaugeUnderConcurrency(t *testing.T) {
+	m := obs.NewRegistry()
+	q, err := NewQueue(4, 16, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				class := ClassInteractive
+				if (g+i)%2 == 0 {
+					class = ClassBatch
+				}
+				if q.TryEnqueue(Task{Name: "t", Class: class, Fn: func(context.Context) error { return nil }}) {
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	q.Close()
+	if got := q.Depth(); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+	if got := m.Gauge("sched/jobqueue_depth").Value(); got != 0 {
+		t.Fatalf("depth gauge after drain = %v, want 0", got)
+	}
+	if peak := m.Gauge("sched/jobqueue_depth_peak").Value(); peak > 16 {
+		t.Fatalf("peak gauge %v exceeded capacity 16", peak)
+	}
+	if got := m.Counter("sched/jobqueue_finished").Value(); got != accepted.Load() {
+		t.Fatalf("finished %d tasks, accepted %d", got, accepted.Load())
+	}
+}

@@ -29,6 +29,10 @@ import (
 type Task struct {
 	// Name labels the task in errors and results.
 	Name string
+	// Class is the admission class a Queue dequeues the task under; the
+	// zero value is ClassInteractive. Pool ignores it (a batch Run is all
+	// one class by construction).
+	Class Class
 	// Fn does the work. It should honour ctx cancellation promptly if it
 	// is long-running, but the pool does not require it: cancellation only
 	// prevents *unstarted* tasks from running.

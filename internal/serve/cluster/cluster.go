@@ -1,0 +1,171 @@
+// Package cluster places content-addressed work across a static shard
+// group with a consistent-hash ring.
+//
+// A Diogenes serve fleet shares nothing at runtime: each instance has its
+// own queue, store, and ledger. What makes the group one service is pure
+// arithmetic — every node, given the same peer list, maps a suite key to
+// the same owner. The owner executes and persists; every other node
+// proxies. Consistent hashing (each peer projected to many points on a
+// 64-bit ring, a key owned by the first point at or after its hash) keeps
+// that map stable under membership change: when the peer list gains or
+// loses a node, only keys whose arc touched that node move, instead of
+// nearly all keys as with modular hashing.
+//
+// The package is deliberately static: no gossip, no failure detector, no
+// rebalancing daemon. The peer list is configuration, the ring is derived
+// from it deterministically, and a node that cannot reach a key's owner
+// degrades to executing locally — availability over placement purity.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// replicasPerPeer is how many virtual points each peer projects onto the
+// ring. More points smooth the key distribution between peers; 128 keeps
+// the worst-case imbalance in the low single-digit percents for the
+// group sizes (≤ dozens) this serves.
+const replicasPerPeer = 128
+
+// Cluster is one node's view of the shard group: the sorted peer list,
+// this node's identity within it, and the derived hash ring. It is
+// immutable after New and safe for concurrent use.
+type Cluster struct {
+	self  string
+	peers []string // sorted, deduplicated; includes self
+	ring  []point
+}
+
+// point is one virtual ring position owned by a peer.
+type point struct {
+	hash uint64
+	peer string
+}
+
+// New builds a cluster view from this node's advertised address and the
+// full peer list. self must appear in peers (addresses are compared
+// verbatim — "127.0.0.1:8377" and "localhost:8377" are different nodes).
+// The peer list is deduplicated and sorted, so every node given the same
+// set builds the identical ring regardless of list order.
+func New(self string, peers []string) (*Cluster, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: empty self address")
+	}
+	seen := make(map[string]bool, len(peers))
+	var uniq []string
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", self, uniq)
+	}
+	if len(uniq) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 peers, have %v (run without -peers for single-node)", uniq)
+	}
+	sort.Strings(uniq)
+	c := &Cluster{self: self, peers: uniq}
+	c.ring = make([]point, 0, len(uniq)*replicasPerPeer)
+	for _, peer := range uniq {
+		for i := 0; i < replicasPerPeer; i++ {
+			c.ring = append(c.ring, point{hash: ringHash(peer + "#" + strconv.Itoa(i)), peer: peer})
+		}
+	}
+	sort.Slice(c.ring, func(i, j int) bool {
+		if c.ring[i].hash != c.ring[j].hash {
+			return c.ring[i].hash < c.ring[j].hash
+		}
+		// A 64-bit collision between different peers' points is
+		// vanishingly unlikely; break it by address so every node still
+		// agrees on the ring.
+		return c.ring[i].peer < c.ring[j].peer
+	})
+	return c, nil
+}
+
+// ringHash maps a string to its ring position.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Self returns this node's advertised address.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the sorted peer list (including self). Callers must not
+// mutate it.
+func (c *Cluster) Peers() []string { return c.peers }
+
+// Owner returns the peer that owns key: the peer whose virtual point is
+// first at or after the key's ring position, wrapping at the top. Every
+// node with the same peer list returns the same owner for the same key.
+func (c *Cluster) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].hash >= h })
+	if i == len(c.ring) {
+		i = 0
+	}
+	return c.ring[i].peer
+}
+
+// OwnsLocally reports whether this node owns key.
+func (c *Cluster) OwnsLocally(key string) bool { return c.Owner(key) == c.self }
+
+// NodeName returns the short name of a peer — "n<index>" in the sorted
+// peer list — used to qualify job IDs so any node can route a job lookup
+// back to the node that created it. ok is false for an unknown address.
+func (c *Cluster) NodeName(addr string) (name string, ok bool) {
+	for i, p := range c.peers {
+		if p == addr {
+			return "n" + strconv.Itoa(i), true
+		}
+	}
+	return "", false
+}
+
+// SelfName returns this node's short name.
+func (c *Cluster) SelfName() string {
+	name, _ := c.NodeName(c.self)
+	return name
+}
+
+// AddrOf resolves a short node name back to the peer address; ok is
+// false for a name outside the group.
+func (c *Cluster) AddrOf(name string) (addr string, ok bool) {
+	if len(name) < 2 || name[0] != 'n' {
+		return "", false
+	}
+	i, err := strconv.Atoi(name[1:])
+	if err != nil || i < 0 || i >= len(c.peers) {
+		return "", false
+	}
+	return c.peers[i], true
+}
+
+// SplitJobID splits a node-qualified job ID ("n2-j17") into the node
+// name and the node-local ID. ok is false when the ID carries no node
+// qualifier (a single-node ID like "j17").
+func SplitJobID(id string) (node, local string, ok bool) {
+	if len(id) < 2 || id[0] != 'n' {
+		return "", "", false
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 2 {
+		return "", "", false
+	}
+	if _, err := strconv.Atoi(id[1:dash]); err != nil {
+		return "", "", false
+	}
+	return id[:dash], id[dash+1:], true
+}

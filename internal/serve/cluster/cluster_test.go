@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func peers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8377", i+1)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("suitekey-%04d", i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", peers(3)); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	if _, err := New("10.0.0.9:1", peers(3)); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+	if _, err := New("10.0.0.1:8377", peers(1)); err == nil {
+		t.Fatal("single-peer group accepted")
+	}
+	c, err := New("10.0.0.2:8377", []string{"10.0.0.2:8377", " 10.0.0.1:8377 ", "10.0.0.1:8377", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Peers()); got != 2 {
+		t.Fatalf("peer list %v not deduplicated/trimmed", c.Peers())
+	}
+}
+
+// TestPlacementDeterministic pins the core shard-group property: every
+// node, given the same peer set in any order, maps every key to the same
+// owner.
+func TestPlacementDeterministic(t *testing.T) {
+	ps := peers(5)
+	// Node views built from differently-ordered (and duplicated) lists.
+	views := make([]*Cluster, 0, len(ps))
+	for i, self := range ps {
+		shuffled := append([]string{}, ps[i:]...)
+		shuffled = append(shuffled, ps[:i]...)
+		shuffled = append(shuffled, self) // duplicate
+		c, err := New(self, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, c)
+	}
+	owned := make(map[string]int)
+	for _, key := range keys(2000) {
+		owner := views[0].Owner(key)
+		for i, v := range views[1:] {
+			if got := v.Owner(key); got != owner {
+				t.Fatalf("key %q: node %s says owner %s, node %s says %s",
+					key, ps[0], owner, ps[i+1], got)
+			}
+		}
+		owned[owner]++
+	}
+	// The ring must actually spread load: every peer owns a share, and
+	// no peer owns a wildly disproportionate one.
+	for _, p := range ps {
+		n := owned[p]
+		if n == 0 {
+			t.Fatalf("peer %s owns no keys: %v", p, owned)
+		}
+		if n > 2*2000/len(ps) {
+			t.Fatalf("peer %s owns %d of 2000 keys (> 2x fair share): %v", p, n, owned)
+		}
+	}
+	// Exactly one node claims local ownership of each key.
+	for _, key := range keys(100) {
+		locals := 0
+		for _, v := range views {
+			if v.OwnsLocally(key) {
+				locals++
+			}
+		}
+		if locals != 1 {
+			t.Fatalf("key %q locally owned by %d nodes, want exactly 1", key, locals)
+		}
+	}
+}
+
+// TestRebalanceMinimal pins the consistent-hash contract: when the peer
+// list changes, the only keys that move are the ones whose owner joined
+// or left — a key whose owner survives the change keeps it.
+func TestRebalanceMinimal(t *testing.T) {
+	ps := peers(5)
+	before, err := New(ps[0], ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove one peer: only its keys may move.
+	removed := ps[2]
+	after, err := New(ps[0], append(append([]string{}, ps[:2]...), ps[3:]...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, fromRemoved := 0, 0
+	for _, key := range keys(2000) {
+		was, is := before.Owner(key), after.Owner(key)
+		if was != is {
+			moved++
+			if was != removed {
+				t.Fatalf("key %q moved %s → %s although its owner %s survived", key, was, is, was)
+			}
+			fromRemoved++
+		}
+	}
+	if fromRemoved == 0 {
+		t.Fatal("removing a peer moved no keys at all")
+	}
+
+	// Add a peer: keys may move only TO the newcomer.
+	added := "10.0.0.99:8377"
+	grown, err := New(ps[0], append(append([]string{}, ps...), added))
+	if err != nil {
+		t.Fatal(err)
+	}
+	toAdded := 0
+	for _, key := range keys(2000) {
+		was, is := before.Owner(key), grown.Owner(key)
+		if was != is {
+			if is != added {
+				t.Fatalf("key %q moved %s → %s although the only change was adding %s", key, was, is, added)
+			}
+			toAdded++
+		}
+	}
+	if toAdded == 0 {
+		t.Fatal("adding a peer attracted no keys")
+	}
+}
+
+func TestNodeNamesAndJobIDs(t *testing.T) {
+	ps := peers(3)
+	c, err := New(ps[1], ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, ok := c.NodeName(ps[1])
+	if !ok || name != "n1" {
+		t.Fatalf("NodeName(%s) = %q, %v", ps[1], name, ok)
+	}
+	if c.SelfName() != "n1" {
+		t.Fatalf("SelfName() = %q, want n1", c.SelfName())
+	}
+	if _, ok := c.NodeName("not-a-peer"); ok {
+		t.Fatal("unknown address resolved to a node name")
+	}
+	for i, p := range ps {
+		addr, ok := c.AddrOf(fmt.Sprintf("n%d", i))
+		if !ok || addr != p {
+			t.Fatalf("AddrOf(n%d) = %q, %v, want %q", i, addr, ok, p)
+		}
+	}
+	for _, bad := range []string{"", "n", "n9", "x0", "nX"} {
+		if _, ok := c.AddrOf(bad); ok {
+			t.Fatalf("AddrOf(%q) resolved", bad)
+		}
+	}
+
+	node, local, ok := SplitJobID("n2-j17")
+	if !ok || node != "n2" || local != "j17" {
+		t.Fatalf("SplitJobID(n2-j17) = %q, %q, %v", node, local, ok)
+	}
+	for _, id := range []string{"j17", "", "n-j1", "nx-j1", "n2", "north-j1"} {
+		if _, _, ok := SplitJobID(id); ok {
+			t.Fatalf("SplitJobID(%q) parsed as node-qualified", id)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"diogenes/internal/serve/cluster"
+)
+
+// node is one member of an in-process shard group.
+type node struct {
+	addr string
+	srv  *Server
+	http *http.Server
+	ln   net.Listener
+}
+
+func (n *node) url() string { return "http://" + n.addr }
+
+// startGroup boots size serve nodes on loopback ports sharing one peer
+// list, each with its own store directory.
+func startGroup(t *testing.T, size int, opt func(i int, o *Options)) []*node {
+	t.Helper()
+	nodes := make([]*node, size)
+	peers := make([]string, size)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &node{addr: ln.Addr().String(), ln: ln}
+		peers[i] = nodes[i].addr
+	}
+	for i, n := range nodes {
+		cl, err := cluster.New(n.addr, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Workers: 1, QueueCapacity: 8, StoreDir: t.TempDir(),
+			Cluster: cl, EventSnapshot: 20 * time.Millisecond}
+		if opt != nil {
+			opt(i, &opts)
+		}
+		s, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.srv = s
+		n.http = &http.Server{Handler: s.Handler()}
+		go n.http.Serve(n.ln)
+		t.Cleanup(func() {
+			n.http.Close()
+			s.Shutdown(testCtx(t))
+		})
+	}
+	return nodes
+}
+
+// submitTo posts one request body to a node and decodes the response.
+func submitTo(t *testing.T, n *node, body string) (int, View, http.Header) {
+	t.Helper()
+	resp, err := http.Post(n.url()+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s/jobs: %v", n.url(), err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var v View
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("decode view: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, v, resp.Header
+}
+
+// nodeIdxOfJob resolves a node-qualified job ID back to the group index.
+func nodeIdxOfJob(t *testing.T, nodes []*node, id string) int {
+	t.Helper()
+	name, _, ok := cluster.SplitJobID(id)
+	if !ok {
+		t.Fatalf("job ID %q carries no node qualifier", id)
+	}
+	for i, n := range nodes {
+		if n.srv.Cluster().SelfName() == name {
+			return i
+		}
+	}
+	t.Fatalf("job ID %q names no group member", id)
+	return -1
+}
+
+// waitDoneVia polls a job to a terminal state through the given node.
+func waitDoneVia(t *testing.T, n *node, id string) View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(n.url() + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v View
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v.Status {
+		case StateDone, StateFailed, StateCanceled:
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished via %s", id, n.addr)
+	return View{}
+}
+
+// TestClusterNonOwnerForwardsToOwner pins the tentpole routing contract:
+// a submission arriving at a non-owner is forwarded to the key's ring
+// owner, which executes, persists, and answers under its own node stamp.
+func TestClusterNonOwnerForwardsToOwner(t *testing.T) {
+	nodes := startGroup(t, 3, nil)
+	body := `{"kind":"run","app":"rodinia_gaussian","scale":0.05}`
+
+	// First submission teaches us the owner: whichever node's name the
+	// returned job ID carries.
+	code, v, hdr := submitTo(t, nodes[0], body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	if hdr.Get(ownerHeader) == "" {
+		t.Fatal("submission response carries no owner header")
+	}
+	owner := nodeIdxOfJob(t, nodes, v.ID)
+	waitDoneVia(t, nodes[owner], v.ID)
+
+	// Now submit the identical request through a guaranteed non-owner.
+	nonOwner := (owner + 1) % len(nodes)
+	code, v2, hdr2 := submitTo(t, nodes[nonOwner], body)
+	if code != http.StatusOK {
+		t.Fatalf("forwarded resubmission status %d, want 200 (store hit on the owner)", code)
+	}
+	if !v2.FromStore {
+		t.Fatal("owner did not serve the forwarded resubmission from its store")
+	}
+	if got := nodeIdxOfJob(t, nodes, v2.ID); got != owner {
+		t.Fatalf("forwarded job landed on node %d, want owner %d", got, owner)
+	}
+	if gotNode := hdr2.Get(nodeHeader); gotNode != nodes[owner].srv.Cluster().SelfName() {
+		t.Fatalf("response node stamp %q, want owner %q", gotNode, nodes[owner].srv.Cluster().SelfName())
+	}
+	if hdr2.Get(degradedHeader) != "" {
+		t.Fatal("healthy-owner forwarding must not be marked degraded")
+	}
+	// The owner holds the persisted key; the non-owner's store stays empty.
+	if v2.StoreKey == "" {
+		t.Fatal("forwarded submission has no store key")
+	}
+	if _, err := nodes[owner].srv.Store().Get(v2.StoreKey); err != nil {
+		t.Fatalf("owner's store is missing the key: %v", err)
+	}
+	if _, err := nodes[nonOwner].srv.Store().Get(v2.StoreKey); err == nil {
+		t.Fatal("non-owner's store has the key; forwarding should leave it empty")
+	}
+}
+
+// TestClusterReportBytesIdenticalFromEveryNode: the ?format=doc bytes —
+// the ones provenance digests are computed over — must be identical no
+// matter which node serves them.
+func TestClusterReportBytesIdenticalFromEveryNode(t *testing.T) {
+	nodes := startGroup(t, 3, nil)
+	code, v, _ := submitTo(t, nodes[1], `{"kind":"run","app":"cuibm","scale":0.05}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	waitDoneVia(t, nodes[1], v.ID)
+
+	var ref []byte
+	for i, n := range nodes {
+		resp, err := http.Get(n.url() + "/jobs/" + v.ID + "/report?format=doc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("node %d: report status %d: %s", i, resp.StatusCode, raw)
+		}
+		if ref == nil {
+			ref = raw
+			continue
+		}
+		if !bytes.Equal(ref, raw) {
+			t.Fatalf("node %d served different doc bytes than node 0 (%d vs %d bytes)", i, len(raw), len(ref))
+		}
+	}
+}
+
+// TestClusterSSEThroughProxy: an event stream opened on a node that does
+// not hold the job is proxied to the creating node frame-by-frame and
+// still ends with the terminal frame.
+func TestClusterSSEThroughProxy(t *testing.T) {
+	nodes := startGroup(t, 3, nil)
+	code, v, _ := submitTo(t, nodes[0], `{"kind":"fleet","app":"amg","ranks":4,"scale":0.05}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	holder := nodeIdxOfJob(t, nodes, v.ID)
+	other := (holder + 1) % len(nodes)
+	frames, _ := readSSE(t, nodes[other].url()+"/jobs/"+v.ID+"/events")
+	if len(frames) == 0 {
+		t.Fatal("no frames through the proxy")
+	}
+	last := frames[len(frames)-1]
+	if last.Event != "done" || last.View.Status != StateDone {
+		t.Fatalf("proxied stream ended with %+v, want terminal done frame", last)
+	}
+	if last.View.Fleet == nil || last.View.Fleet.RanksDone != 4 {
+		t.Fatalf("proxied terminal frame counters %+v, want 4 ranks done", last.View.Fleet)
+	}
+}
+
+// TestClusterDegradesWhenOwnerDown: with the key's owner unreachable, a
+// submission to any surviving node executes locally, honestly stamped as
+// degraded, instead of failing.
+func TestClusterDegradesWhenOwnerDown(t *testing.T) {
+	nodes := startGroup(t, 3, nil)
+	body := `{"kind":"run","app":"cumf_als","scale":0.05}`
+	code, v, _ := submitTo(t, nodes[0], body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	owner := nodeIdxOfJob(t, nodes, v.ID)
+	waitDoneVia(t, nodes[owner], v.ID)
+	nodes[owner].http.Close()
+
+	survivor := (owner + 1) % len(nodes)
+	code, v2, hdr := submitTo(t, nodes[survivor], body)
+	if code != http.StatusAccepted {
+		t.Fatalf("degraded submission status %d, want 202 (local re-execution)", code)
+	}
+	if hdr.Get(degradedHeader) == "" {
+		t.Fatal("degraded execution not stamped with the degraded header")
+	}
+	if got := nodeIdxOfJob(t, nodes, v2.ID); got != survivor {
+		t.Fatalf("degraded job ran on node %d, want the receiving survivor %d", got, survivor)
+	}
+	waitDoneVia(t, nodes[survivor], v2.ID)
+	// The survivor's own store now holds the result — availability first.
+	if _, err := nodes[survivor].srv.Store().Get(v2.StoreKey); err != nil {
+		t.Fatalf("survivor's store is missing the degraded result: %v", err)
+	}
+}
+
+// TestClusterHopGuard: a request already marked forwarded executes where
+// it lands, whatever the ring says — at most one hop, never a loop.
+func TestClusterHopGuard(t *testing.T) {
+	nodes := startGroup(t, 3, nil)
+	body := `{"kind":"run","app":"rodinia_gaussian","scale":0.07}`
+	for i, n := range nodes {
+		req, err := http.NewRequest("POST", n.url()+"/jobs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(forwardedHeader, "test")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		var v View
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+		if got := nodeIdxOfJob(t, nodes, v.ID); got != i {
+			t.Fatalf("hop-guarded submission to node %d executed on node %d", i, got)
+		}
+	}
+}
+
+// TestClusterLookupUnreachableNode: a job lookup whose node is down is a
+// 502, not a silent 404 — the state genuinely lives only on that node.
+func TestClusterLookupUnreachableNode(t *testing.T) {
+	nodes := startGroup(t, 3, nil)
+	code, v, _ := submitTo(t, nodes[2], `{"kind":"run","app":"rodinia_gaussian","scale":0.05}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	holder := nodeIdxOfJob(t, nodes, v.ID)
+	waitDoneVia(t, nodes[holder], v.ID)
+	nodes[holder].http.Close()
+	other := (holder + 1) % len(nodes)
+	resp, err := http.Get(nodes[other].url() + "/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("lookup through survivor: status %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestSingleNodeJobIDsUnqualified pins the compatibility floor: without
+// a cluster, job IDs keep the historical unqualified form and no cluster
+// headers appear.
+func TestSingleNodeJobIDsUnqualified(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(testCtx(t))
+	j, err := s.Submit(Request{Kind: KindRun, App: "rodinia_gaussian", Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "j1" {
+		t.Fatalf("single-node job ID %q, want j1", j.ID)
+	}
+	if _, _, ok := cluster.SplitJobID(j.ID); ok {
+		t.Fatalf("single-node ID %q parsed as node-qualified", j.ID)
+	}
+}
+
+// readSSELine-level proxy check: frames proxied via a non-holder arrive
+// with the origin node's stamp, not the proxy's.
+func TestClusterProxiedResponseKeepsOriginNodeStamp(t *testing.T) {
+	nodes := startGroup(t, 3, nil)
+	code, v, _ := submitTo(t, nodes[0], `{"kind":"run","app":"rodinia_gaussian","scale":0.05}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	holder := nodeIdxOfJob(t, nodes, v.ID)
+	waitDoneVia(t, nodes[holder], v.ID)
+	other := (holder + 1) % len(nodes)
+	resp, err := http.Get(nodes[other].url() + "/jobs/" + v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	stamps := resp.Header.Values(nodeHeader)
+	want := nodes[holder].srv.Cluster().SelfName()
+	if len(stamps) != 1 || stamps[0] != want {
+		t.Fatalf("proxied response node stamps %v, want exactly [%s]", stamps, want)
+	}
+}

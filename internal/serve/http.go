@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -21,6 +23,8 @@ const maxRequestBody = 1 << 20
 //	GET    /jobs                    list retained jobs
 //	GET    /jobs/{id}               job status + span-derived progress
 //	DELETE /jobs/{id}               cancel a job
+//	GET    /jobs/{id}/events        SSE stream of job progress, ending in
+//	                                a terminal frame
 //	GET    /jobs/{id}/report        completed report (?format=json|text|doc;
 //	                                ?proof=1 wraps the stored document in a
 //	                                ledger inclusion-proof envelope)
@@ -31,18 +35,39 @@ const maxRequestBody = 1 << 20
 //	GET    /metrics                 the server's obs registry (?format=prom
 //	                                or a text/plain Accept selects Prometheus
 //	                                text exposition)
+//
+// In cluster mode every route answers on every node: submissions forward
+// to the key's ring owner, job lookups (status, events, report,
+// timeline, cancel) proxy to the node named in the job ID, and a
+// one-hop guard plus local-execution degradation keep the group serving
+// through peer failures.
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /jobs/{id}/timeline.json", s.handleTimelineJSON)
 	mux.HandleFunc("GET /ledger/root", s.handleLedgerRoot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.obs.Metrics().Handler())
+	if s.cluster != nil {
+		// Stamp every response with the answering node so clients and
+		// tests can see routing; proxied responses keep the origin
+		// node's stamp (Set before the inner handler may overwrite it).
+		name := s.cluster.SelfName()
+		inner := mux
+		wrapped := http.NewServeMux()
+		wrapped.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(nodeHeader, name)
+			inner.ServeHTTP(w, r)
+		})
+		s.mux = wrapped
+		return
+	}
 	s.mux = mux
 }
 
@@ -100,23 +125,37 @@ func retryAfterHint(depth, workers int, meanNanos int64, fallback time.Duration)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
 	var req Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
+	if s.routeSubmit(w, r, req, body) {
+		return // answered by the key's ring owner
+	}
 	j, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrShuttingDown):
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), RetryAfterSeconds: s.retryAfterSeconds()})
+		// Compute the hint exactly once: the queue depth it reads is
+		// live, so computing it again for the body could disagree with
+		// the Retry-After header already sent.
+		ra := s.retryAfterFn()
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), RetryAfterSeconds: ra})
 	case errors.Is(err, ErrQueueFull):
 		// The backpressure contract: a full backlog is a visible 429
-		// with a retry hint, never silent unbounded buffering.
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSeconds: s.retryAfterSeconds()})
+		// with a retry hint, never silent unbounded buffering. Header
+		// and body carry the same single computation (see above).
+		ra := s.retryAfterFn()
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSeconds: ra})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	default:
@@ -138,9 +177,13 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.routeJobID(w, r, id) {
+		return
+	}
+	j := s.Job(id)
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", id)})
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View())
@@ -148,17 +191,33 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.Cancel(id) {
+	if s.routeJobID(w, r, id) {
+		return
+	}
+	// Cancel returns the job handle; rendering that handle (instead of
+	// looking the ID up again) is what makes this safe against
+	// concurrent retention shedding — the regression was a nil deref
+	// when manager.add evicted the finished job between Cancel and a
+	// second s.Job(id) lookup.
+	j := s.Cancel(id)
+	if j == nil {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Job(id).View())
+	if h := s.hookCanceled; h != nil {
+		h(id)
+	}
+	writeJSON(w, http.StatusOK, j.View())
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	j := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.routeJobID(w, r, id) {
+		return
+	}
+	j := s.Job(id)
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", id)})
 		return
 	}
 	data := j.Result()
@@ -269,6 +328,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		// watches provenance: a growing "unsealed" depth means appends are
 		// outrunning seals (or the flush timer is misconfigured).
 		resp["ledger"] = s.ledger.Head()
+	}
+	if s.cluster != nil {
+		resp["cluster"] = map[string]any{
+			"self":  s.cluster.Self(),
+			"node":  s.cluster.SelfName(),
+			"peers": s.cluster.Peers(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"diogenes/internal/serve/cluster"
+)
+
+// Cluster-mode HTTP headers.
+const (
+	// forwardedHeader marks a request that already crossed one node — the
+	// hop guard. A node receiving it executes locally no matter what the
+	// ring says, so a stale or disagreeing peer list can produce at most
+	// one extra hop, never a forwarding loop.
+	forwardedHeader = "X-Diogenes-Forwarded"
+	// nodeHeader names the node that actually answered a request.
+	nodeHeader = "X-Diogenes-Node"
+	// ownerHeader names the ring owner of a submission's key, when known.
+	ownerHeader = "X-Diogenes-Owner"
+	// degradedHeader marks a response produced locally because the key's
+	// owner was unreachable.
+	degradedHeader = "X-Diogenes-Degraded"
+)
+
+// proxyConnectTimeout bounds dialing a peer; a peer that cannot be
+// reached this fast is treated as down and the request degrades.
+const proxyConnectTimeout = 2 * time.Second
+
+// proxyHeaderTimeout bounds how long a peer may sit on a proxied request
+// before sending response headers. Generous: the peer may be answering
+// from a cold store, but a submission response never takes minutes.
+const proxyHeaderTimeout = 2 * time.Minute
+
+// newProxyClient builds the inter-node HTTP client. No overall timeout:
+// a proxied SSE stream lives as long as the job it watches. Liveness
+// comes from the connect and header bounds plus the stream's own
+// heartbeats.
+func newProxyClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: proxyConnectTimeout}).DialContext,
+			ResponseHeaderTimeout: proxyHeaderTimeout,
+			MaxIdleConnsPerHost:   16,
+		},
+	}
+}
+
+// Cluster returns the shard-group view, nil in single-node mode.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
+// ownerKey computes the content-addressed store key a request would
+// persist under, for placement. ok is false for invalid requests and for
+// kinds with no key (replay) — both always execute wherever they arrive.
+func (s *Server) ownerKey(req Request) (string, bool) {
+	if err := req.normalize(); err != nil {
+		return "", false
+	}
+	key, ok := s.keyFor(s.engineFor(&req, nil), req)
+	return key, ok && key != ""
+}
+
+// forwarded reports whether the request already crossed a node — the hop
+// guard.
+func forwarded(r *http.Request) bool { return r.Header.Get(forwardedHeader) != "" }
+
+// routeSubmit decides where a submission runs. It returns true when the
+// request was fully answered by forwarding to the key's owner; false
+// means the caller must execute locally (this node owns the key, the
+// request is unroutable, the hop guard fired, or the owner is down — in
+// the last case the response is stamped with degradedHeader).
+func (s *Server) routeSubmit(w http.ResponseWriter, r *http.Request, req Request, body []byte) bool {
+	if s.cluster == nil || forwarded(r) {
+		return false
+	}
+	key, ok := s.ownerKey(req)
+	if !ok {
+		return false
+	}
+	owner := s.cluster.Owner(key)
+	w.Header().Set(ownerHeader, owner)
+	if owner == s.cluster.Self() {
+		return false
+	}
+	if s.proxyTo(w, r, owner, body) {
+		s.mForwarded.Inc()
+		return true
+	}
+	// The owner is unreachable: degrade to local execution rather than
+	// failing the submission. The local store keeps the result; the
+	// response says so, honestly.
+	s.mDegraded.Inc()
+	w.Header().Set(degradedHeader, "owner-unreachable")
+	return false
+}
+
+// routeJobID decides where a /jobs/{id}... request is answered. It
+// returns true when the request was proxied to the node that created the
+// job. false means the caller serves locally — the ID is local,
+// unqualified, the hop guard fired, or the cluster is off. A remote node
+// that cannot be reached answers 502 here (handled == true): unlike a
+// submission, a lookup cannot degrade to local execution, because the
+// job's state lives only on its node.
+func (s *Server) routeJobID(w http.ResponseWriter, r *http.Request, id string) (handled bool) {
+	if s.cluster == nil || forwarded(r) {
+		return false
+	}
+	node, _, ok := cluster.SplitJobID(id)
+	if !ok || node == s.cluster.SelfName() {
+		return false
+	}
+	addr, ok := s.cluster.AddrOf(node)
+	if !ok {
+		return false // unknown node name: local lookup will 404 honestly
+	}
+	if s.proxyTo(w, r, addr, nil) {
+		s.mProxied.Inc()
+		return true
+	}
+	writeJSON(w, http.StatusBadGateway, errorBody{
+		Error: "job " + id + " lives on node " + node + " (" + addr + "), which is unreachable",
+	})
+	return true
+}
+
+// proxyTo replays the request against addr with the hop guard set and
+// streams the response through verbatim — status, headers, and body
+// bytes, flushed as they arrive so proxied SSE frames reach the client
+// live. It reports false (with nothing written) when the peer cannot be
+// reached or refuses the connection; once the response status has been
+// copied the proxying is committed.
+func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, addr string, body []byte) bool {
+	url := "http://" + addr + r.URL.RequestURI()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(forwardedHeader, s.cluster.Self())
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := s.proxyClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	// The origin's node stamp wins over the one this node's wrapper set.
+	w.Header().Del(nodeHeader)
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	return true
+}
+
+// flushCopy copies src to w, flushing after every read so streamed
+// responses (SSE) are delivered frame-by-frame instead of buffered.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"diogenes/internal/ledger"
 	"diogenes/internal/obs"
 	"diogenes/internal/sched"
+	"diogenes/internal/serve/cluster"
 )
 
 // ledgerName is the provenance ledger's file inside the store directory.
@@ -86,6 +87,22 @@ type Options struct {
 	// job's parked reduction partials; beyond it sealed partials spill to
 	// a per-job temp directory. 0 never spills.
 	FleetSpillBudget int64
+	// Cluster, when non-nil, makes this instance one node of a shard
+	// group: content-addressed submissions route to their consistent-hash
+	// owner (executed locally when this node owns the key or the owner is
+	// unreachable, forwarded otherwise), job IDs carry this node's name,
+	// and job lookups for other nodes' IDs proxy to the node that created
+	// them. Nil is single-node mode, byte-identical to a server that has
+	// never heard of clustering.
+	Cluster *cluster.Cluster
+	// EventSnapshot is the cadence at which GET /jobs/{id}/events emits
+	// progress frames while a job runs (on top of change-driven frames
+	// from the span trace); 0 selects 250ms.
+	EventSnapshot time.Duration
+	// EventHeartbeat is the SSE keep-alive comment interval — what lets a
+	// proxy or client distinguish a quiet stream from a dead one; 0
+	// selects 15s.
+	EventHeartbeat time.Duration
 }
 
 // Sentinel errors Submit maps to HTTP statuses.
@@ -116,6 +133,13 @@ type Server struct {
 	jobs   *manager
 	mux    *http.ServeMux
 
+	// cluster is the shard-group view (nil single-node); proxyClient
+	// carries forwarded submissions and proxied lookups between nodes.
+	// It deliberately has no overall timeout — SSE proxying streams for a
+	// job's whole lifetime — only connect and response-header bounds.
+	cluster     *cluster.Cluster
+	proxyClient *http.Client
+
 	accepting atomic.Bool
 
 	// Completed-execution wall time, feeding the Retry-After hint: the
@@ -130,10 +154,21 @@ type Server struct {
 	mFailed      *obs.Counter
 	mCanceled    *obs.Counter
 	mStorePutErr *obs.Counter
+	mForwarded   *obs.Counter
+	mProxied     *obs.Counter
+	mDegraded    *obs.Counter
 
 	// hookRunning, when non-nil, is called as each job enters the running
 	// state — a test seam for holding jobs in flight deterministically.
 	hookRunning func(j *Job)
+	// hookCanceled, when non-nil, is called by handleCancel between
+	// canceling the job and rendering its view — the window where
+	// retention shedding once raced the handler's re-lookup.
+	hookCanceled func(id string)
+	// retryAfterFn renders the 429/503 backoff hint; defaults to
+	// retryAfterSeconds, replaceable in tests to pin that one handler
+	// response derives header and body from a single computation.
+	retryAfterFn func() int
 }
 
 // New builds a started server (its workers idle until jobs arrive).
@@ -150,12 +185,23 @@ func New(opts Options) (*Server, error) {
 	if opts.RetainJobs == 0 {
 		opts.RetainJobs = 1024
 	}
+	if opts.EventSnapshot <= 0 {
+		opts.EventSnapshot = 250 * time.Millisecond
+	}
+	if opts.EventHeartbeat <= 0 {
+		opts.EventHeartbeat = 15 * time.Second
+	}
+	idPrefix := ""
+	if opts.Cluster != nil {
+		idPrefix = opts.Cluster.SelfName() + "-"
+	}
 	o := obs.New("diogenes-serve")
 	s := &Server{
-		opts:  opts,
-		obs:   o,
-		cache: experiments.NewReportCache(),
-		jobs:  newManager(opts.RetainJobs),
+		opts:    opts,
+		obs:     o,
+		cache:   experiments.NewReportCache(),
+		jobs:    newManager(opts.RetainJobs, idPrefix),
+		cluster: opts.Cluster,
 
 		mSubmitted:   o.Metrics().Counter("serve/jobs_submitted"),
 		mRejected:    o.Metrics().Counter("serve/jobs_rejected"),
@@ -163,6 +209,13 @@ func New(opts Options) (*Server, error) {
 		mFailed:      o.Metrics().Counter("serve/jobs_failed"),
 		mCanceled:    o.Metrics().Counter("serve/jobs_canceled"),
 		mStorePutErr: o.Metrics().Counter("serve/store_put_errors"),
+		mForwarded:   o.Metrics().Counter("serve/cluster_forwarded"),
+		mProxied:     o.Metrics().Counter("serve/cluster_proxied"),
+		mDegraded:    o.Metrics().Counter("serve/cluster_degraded"),
+	}
+	s.retryAfterFn = s.retryAfterSeconds
+	if s.cluster != nil {
+		s.proxyClient = newProxyClient()
 	}
 	s.cache.SetMetrics(o.Metrics())
 	if opts.CacheBudget > 0 {
@@ -259,7 +312,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 
 	s.jobs.add(j)
-	ok := s.queue.TryEnqueue(sched.Task{Name: "job/" + req.Kind, Fn: s.taskFn(j, eng)})
+	ok := s.queue.TryEnqueue(sched.Task{Name: "job/" + req.Kind, Class: classFor(req.Kind), Fn: s.taskFn(j, eng)})
 	if !ok {
 		s.jobs.remove(j.ID)
 		s.mRejected.Inc()
@@ -297,20 +350,32 @@ func (s *Server) Job(id string) *Job { return s.jobs.get(id) }
 // Jobs returns all retained jobs in submission order.
 func (s *Server) Jobs() []*Job { return s.jobs.list() }
 
+// classFor maps an experiment kind to its queue admission class:
+// single-application interactive kinds ahead of the bulk suites.
+func classFor(kind string) sched.Class {
+	switch kind {
+	case KindRun, KindReplay:
+		return sched.ClassInteractive
+	}
+	return sched.ClassBatch
+}
+
 // Cancel cancels a job: a queued job finishes immediately as canceled, a
 // running job's context is canceled and its eventual result discarded.
-// Canceling a finished job is a no-op. It reports whether the ID was
-// known.
-func (s *Server) Cancel(id string) bool {
+// Canceling a finished job is a no-op. It returns the job, nil for an
+// unknown ID — callers render the returned handle rather than looking
+// the ID up again, because retention shedding may remove a finished job
+// from the registry at any moment and a re-lookup can come back nil.
+func (s *Server) Cancel(id string) *Job {
 	j := s.jobs.get(id)
 	if j == nil {
-		return false
+		return nil
 	}
 	j.cancel()
 	if j.finishIfQueued(StateCanceled, "job canceled before start") {
 		s.mCanceled.Inc()
 	}
-	return true
+	return j
 }
 
 // Shutdown gracefully stops the server: new submissions are refused with

@@ -345,7 +345,7 @@ func TestCancelRunningJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-entered
-	if !s.Cancel(j.ID) {
+	if s.Cancel(j.ID) == nil {
 		t.Fatal("cancel reported unknown job")
 	}
 	close(release)

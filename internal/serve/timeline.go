@@ -40,9 +40,13 @@ func modelForDoc(doc *ResultDoc) (*timeline.Model, error) {
 // stamped with the daemon's build identity so downloads are
 // self-describing.
 func (s *Server) timelineModel(w http.ResponseWriter, r *http.Request) *timeline.Model {
-	j := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.routeJobID(w, r, id) {
+		return nil // answered by the node that created the job
+	}
+	j := s.Job(id)
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %q", id)})
 		return nil
 	}
 	data := j.Result()
